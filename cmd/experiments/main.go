@@ -1,0 +1,141 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// (Fig. 6-10), the Table II parameter listing, the Section VI-B overhead
+// analysis, and the ablation studies DESIGN.md calls out.
+//
+// Examples:
+//
+//	experiments -table2
+//	experiments -fig 8 -benchmarks canneal,dedup
+//	experiments -all
+//	experiments -overhead
+//	experiments -ablation rl-params
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rlnoc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figFlag    = flag.String("fig", "", "regenerate one figure: 6|7|8|9|10")
+		all        = flag.Bool("all", false, "regenerate every figure")
+		table2     = flag.Bool("table2", false, "print the Table II parameters")
+		overhead   = flag.Bool("overhead", false, "print the Section VI-B overhead analysis")
+		ablation   = flag.String("ablation", "", "run an ablation: rl-params|modes|epoch|table-sharing|static-modes")
+		benchFlag  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all nine)")
+		cfgPath    = flag.String("config", "", "JSON config file")
+		small      = flag.Bool("small", false, "use the 4x4 quick configuration (fast, noisier)")
+		seed       = flag.Int64("seed", 0, "override random seed")
+		chart      = flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
+		seeds      = flag.Int("seeds", 1, "number of seeds to average figures over (mean +/- std)")
+		analytic   = flag.Bool("analytic", false, "print the closed-form mode cost model and crossover thresholds")
+		loadsweep  = flag.Bool("loadsweep", false, "run the load-latency sweep (latency vs injection rate per scheme)")
+	)
+	flag.Parse()
+
+	cfg := rlnoc.DefaultConfig()
+	if *small {
+		cfg = rlnoc.SmallConfig()
+	}
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = rlnoc.LoadConfig(*cfgPath); err != nil {
+			return err
+		}
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	var benchmarks []string
+	if *benchFlag != "" {
+		benchmarks = strings.Split(*benchFlag, ",")
+	}
+
+	did := false
+	if *table2 {
+		fmt.Print(rlnoc.TableII(cfg))
+		did = true
+	}
+	if *overhead {
+		fmt.Print(rlnoc.OverheadReport())
+		did = true
+	}
+	if *analytic {
+		printAnalytic(cfg)
+		did = true
+	}
+	if *loadsweep {
+		if err := runLoadSweep(cfg); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *ablation != "" {
+		if err := runAblation(cfg, *ablation, benchmarks); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *figFlag != "" || *all {
+		ids := map[string]rlnoc.FigureID{
+			"6": rlnoc.Fig6Retransmission, "7": rlnoc.Fig7Speedup,
+			"8": rlnoc.Fig8Latency, "9": rlnoc.Fig9EnergyEfficiency,
+			"10": rlnoc.Fig10DynamicPower,
+		}
+		var wanted []rlnoc.FigureID
+		if *all {
+			wanted = rlnoc.FigureIDs()
+		} else {
+			id, ok := ids[*figFlag]
+			if !ok {
+				return fmt.Errorf("unknown figure %q (want 6..10)", *figFlag)
+			}
+			wanted = []rlnoc.FigureID{id}
+		}
+		fmt.Fprintln(os.Stderr, "running suite (all schemes x benchmarks); this takes a few minutes...")
+		var seedList []int64
+		for s := int64(0); s < int64(*seeds); s++ {
+			seedList = append(seedList, cfg.Seed+s)
+		}
+		multi, err := rlnoc.RunSuiteSeeds(cfg, benchmarks, seedList)
+		if err != nil {
+			return err
+		}
+		for _, id := range wanted {
+			f, std, err := multi.Figure(id)
+			if err != nil {
+				return err
+			}
+			if *chart {
+				fmt.Println(f.Chart())
+			} else {
+				fmt.Println(f.Format())
+			}
+			if *seeds > 1 {
+				fmt.Printf("across-seed std of means:")
+				for _, sc := range rlnoc.Schemes() {
+					fmt.Printf("  %s %.3f", sc, std[sc])
+				}
+				fmt.Println()
+				fmt.Println()
+			}
+		}
+		did = true
+	}
+	if !did {
+		flag.Usage()
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Command nocsim runs one simulation: a PARSEC-like benchmark (or a trace
+// file, or a synthetic pattern) under one fault-tolerant scheme, printing
+// the headline metrics.
+//
+// Examples:
+//
+//	nocsim -scheme rl -benchmark canneal
+//	nocsim -scheme crc -pattern uniform -rate 0.005
+//	nocsim -scheme arq-ecc -trace trace.txt -config cfg.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlnoc/internal/config"
+	"rlnoc/internal/core"
+	"rlnoc/internal/eventlog"
+	"rlnoc/internal/topology"
+	"rlnoc/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nocsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		schemeFlag = flag.String("scheme", "rl", "fault-tolerant scheme: crc|arq-ecc|dt|rl")
+		benchFlag  = flag.String("benchmark", "", "PARSEC-like benchmark name (see cmd/trafficgen -list)")
+		traceFlag  = flag.String("trace", "", "trace file to run (overrides -benchmark)")
+		pattern    = flag.String("pattern", "", "synthetic pattern (uniform|transpose|...) instead of a benchmark")
+		rate       = flag.Float64("rate", 0.004, "synthetic injection rate, packets/node/cycle")
+		cfgPath    = flag.String("config", "", "JSON config file (default: paper Table II)")
+		seed       = flag.Int64("seed", 0, "override random seed (0 = keep config seed)")
+		errRate    = flag.Float64("error-rate", -1, "override base timing-error rate (-1 = keep config)")
+		routing    = flag.String("routing", "", "routing algorithm: xy|yx|westfirst (default: config)")
+		small      = flag.Bool("small", false, "use the 4x4 quick configuration")
+		verbose    = flag.Bool("v", false, "print the error-control breakdown")
+		policy     = flag.Int("policy", 0, "print the N most-visited RL states with their Q-rows")
+		savePolicy = flag.String("save-policy", "", "write the trained RL Q-tables to a file after the run")
+		loadPolicy = flag.String("load-policy", "", "preload RL Q-tables (skips pre-training)")
+		eventLog   = flag.String("eventlog", "", "record flit/packet events of the testing phase to a file")
+		analyze    = flag.String("analyze", "", "analyze a recorded event log and exit")
+	)
+	flag.Parse()
+
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err := eventlog.Read(f)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eventlog.Analyze(events).Format())
+		return nil
+	}
+
+	cfg := config.Default()
+	if *small {
+		cfg = config.Small()
+	}
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = config.Load(*cfgPath); err != nil {
+			return err
+		}
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *errRate >= 0 {
+		cfg.Fault.BaseErrorRate = *errRate
+	}
+	if *routing != "" {
+		cfg.Routing = config.Routing(*routing)
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	scheme, err := core.ParseScheme(*schemeFlag)
+	if err != nil {
+		return err
+	}
+
+	var events []traffic.Event
+	label := ""
+	switch {
+	case *traceFlag != "":
+		f, err := os.Open(*traceFlag)
+		if err != nil {
+			return err
+		}
+		events, err = traffic.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		label = *traceFlag
+	case *pattern != "":
+		mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+		if err != nil {
+			return err
+		}
+		events, err = traffic.Synthetic(mesh, traffic.Pattern(*pattern), *rate,
+			cfg.FlitsPerPacket, int64(cfg.MaxCycles), cfg.Seed+7)
+		if err != nil {
+			return err
+		}
+		label = *pattern
+	default:
+		bench := *benchFlag
+		if bench == "" {
+			bench = "canneal"
+		}
+		b, err := traffic.BenchmarkByName(bench)
+		if err != nil {
+			return err
+		}
+		mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+		if err != nil {
+			return err
+		}
+		events, err = b.Trace(mesh, int64(cfg.MaxCycles), cfg.FlitsPerPacket, cfg.Seed*31+1300)
+		if err != nil {
+			return err
+		}
+		label = bench
+	}
+
+	sim, err := core.NewSim(cfg, scheme)
+	if err != nil {
+		return err
+	}
+	if *loadPolicy != "" {
+		rlc, ok := sim.Controller().(*core.RLController)
+		if !ok {
+			return fmt.Errorf("-load-policy requires -scheme rl")
+		}
+		f, err := os.Open(*loadPolicy)
+		if err != nil {
+			return err
+		}
+		err = rlc.LoadPolicy(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else if err := sim.Pretrain(); err != nil {
+		return err
+	}
+	if *eventLog != "" {
+		f, err := os.Create(*eventLog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		l := eventlog.New(f)
+		sim.Network().SetEventLog(l)
+		defer l.Flush()
+	}
+	res, err := sim.Measure(events, label)
+	if err != nil {
+		return err
+	}
+
+	printResult(res, *verbose)
+	if *policy > 0 {
+		if rlc, ok := sim.Controller().(*core.RLController); ok {
+			fmt.Print(rlc.PolicyDump(*policy))
+		}
+	}
+	if *savePolicy != "" {
+		rlc, ok := sim.Controller().(*core.RLController)
+		if !ok {
+			return fmt.Errorf("-save-policy requires -scheme rl")
+		}
+		f, err := os.Create(*savePolicy)
+		if err != nil {
+			return err
+		}
+		if err := rlc.SavePolicy(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved RL policy to %s\n", *savePolicy)
+	}
+	return nil
+}
+
+func printResult(r core.Result, verbose bool) {
+	fmt.Printf("scheme            %s\n", r.Scheme)
+	fmt.Printf("workload          %s\n", r.Benchmark)
+	fmt.Printf("drained           %v\n", r.Drained)
+	fmt.Printf("execution         %d cycles\n", r.ExecutionCycles)
+	fmt.Printf("mean E2E latency  %.2f cycles\n", r.MeanLatency)
+	fmt.Printf("latency p50/p95/p99/max  %d/%d/%d/%d cycles\n",
+		r.Summary.P50Latency, r.Summary.P95Latency, r.Summary.P99Latency, r.Summary.MaxLatency)
+	fmt.Printf("flits delivered   %d\n", r.FlitsDelivered)
+	fmt.Printf("retransmit (pkt)  %.1f\n", r.RetransmittedPacketEq)
+	fmt.Printf("dynamic power     %.4f W\n", r.DynamicPowerW)
+	fmt.Printf("energy            %.1f nJ (dynamic %.1f, static %.1f)\n",
+		r.TotalPJ/1e3, r.DynamicPJ/1e3, r.StaticPJ/1e3)
+	fmt.Printf("energy efficiency %.2f flits/uJ\n", r.EnergyEfficiency)
+	fmt.Printf("temperature       mean %.1f C, max %.1f C\n", r.MeanTempC, r.MaxTempC)
+	if verbose {
+		s := r.Summary
+		fmt.Printf("errors injected   %d\n", s.ErrorsInjected)
+		fmt.Printf("ecc corrected     %d\n", s.ECCCorrections)
+		fmt.Printf("ecc detected      %d\n", s.ECCDetections)
+		fmt.Printf("crc failures      %d\n", s.CRCFailures)
+		fmt.Printf("source retx       %d\n", s.SourceRetransmissions)
+		fmt.Printf("link retx         %d\n", s.LinkRetransmissions)
+		fmt.Printf("pre-retx          %d\n", s.PreRetransmissions)
+		fmt.Printf("packets           %d injected, %d delivered\n", s.PacketsInjected, s.PacketsDelivered)
+		fmt.Printf("mode decisions    %v\n", r.ModeDecisions)
+		fmt.Printf("mode mean reward  %.2f %.2f %.2f %.2f\n",
+			r.ModeMeanReward[0], r.ModeMeanReward[1], r.ModeMeanReward[2], r.ModeMeanReward[3])
+	}
+}

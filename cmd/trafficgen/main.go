@@ -1,0 +1,130 @@
+// Command trafficgen generates, inspects and validates injection traces:
+// the PARSEC-like benchmark models and the classic synthetic patterns.
+//
+// Examples:
+//
+//	trafficgen -list
+//	trafficgen -benchmark canneal -cycles 200000 -out canneal.trace
+//	trafficgen -pattern transpose -rate 0.01 -cycles 50000 -out t.trace
+//	trafficgen -inspect canneal.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlnoc/internal/config"
+	"rlnoc/internal/topology"
+	"rlnoc/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list      = flag.Bool("list", false, "list the PARSEC-like benchmarks and their traffic characters")
+		benchmark = flag.String("benchmark", "", "generate the named benchmark's trace")
+		pattern   = flag.String("pattern", "", "generate a synthetic pattern trace")
+		rate      = flag.Float64("rate", 0.005, "synthetic injection rate, packets/node/cycle")
+		cycles    = flag.Int64("cycles", 200_000, "trace duration in cycles")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "output file (default stdout)")
+		inspect   = flag.String("inspect", "", "validate and summarize an existing trace file")
+		width     = flag.Int("width", 8, "mesh width")
+		height    = flag.Int("height", 8, "mesh height")
+	)
+	flag.Parse()
+
+	mesh, err := topology.NewMesh(*width, *height)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		fmt.Printf("%-15s %10s %8s %8s %8s %8s\n", "benchmark", "rate/kcyc", "duty", "local", "hotspot", "short")
+		for _, b := range traffic.Benchmarks() {
+			duty := b.BurstOnProb / (b.BurstOnProb + b.BurstOffProb)
+			fmt.Printf("%-15s %10.1f %8.2f %8.2f %8.2f %8.2f\n",
+				b.Name, b.RatePktPerKCycle, duty, b.Locality, b.HotspotProb, b.ShortFrac)
+		}
+		fmt.Println("\nsynthetic patterns:")
+		for _, p := range traffic.Patterns() {
+			fmt.Println(" ", p)
+		}
+		return nil
+
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err := traffic.ReadTrace(f)
+		if err != nil {
+			return err
+		}
+		if err := traffic.Validate(mesh, events); err != nil {
+			return fmt.Errorf("invalid trace: %w", err)
+		}
+		var flits int64
+		var last int64
+		for _, e := range events {
+			flits += int64(e.Flits)
+			last = e.Cycle
+		}
+		fmt.Printf("events         %d\n", len(events))
+		fmt.Printf("flits          %d\n", flits)
+		fmt.Printf("span           %d cycles\n", last+1)
+		fmt.Printf("offered load   %.5f flits/node/cycle\n", traffic.OfferedLoad(mesh, events, last+1))
+		return nil
+
+	case *benchmark != "":
+		b, err := traffic.BenchmarkByName(*benchmark)
+		if err != nil {
+			return err
+		}
+		events, err := b.Trace(mesh, *cycles, config.Default().FlitsPerPacket, *seed)
+		if err != nil {
+			return err
+		}
+		return writeOut(*out, events)
+
+	case *pattern != "":
+		events, err := traffic.Synthetic(mesh, traffic.Pattern(*pattern), *rate,
+			config.Default().FlitsPerPacket, *cycles, *seed)
+		if err != nil {
+			return err
+		}
+		return writeOut(*out, events)
+
+	default:
+		flag.Usage()
+		return nil
+	}
+}
+
+func writeOut(path string, events []traffic.Event) error {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := traffic.WriteTrace(w, events); err != nil {
+		return err
+	}
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", len(events), path)
+	}
+	return nil
+}

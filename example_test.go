@@ -1,0 +1,48 @@
+package rlnoc_test
+
+import (
+	"fmt"
+
+	"rlnoc"
+)
+
+// Example runs the proposed RL scheme on a small mesh and prints whether
+// the run completed. Deterministic by seed.
+func Example() {
+	cfg := rlnoc.SmallConfig()
+	cfg.PretrainCycles = 4000
+	cfg.WarmupCycles = 500
+	cfg.MaxCycles = 3000
+	res, err := rlnoc.Run(cfg, rlnoc.RL, "swaptions")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("drained:", res.Drained)
+	fmt.Println("scheme:", res.Scheme)
+	// Output:
+	// drained: true
+	// scheme: rl
+}
+
+// ExampleParseScheme shows scheme name parsing.
+func ExampleParseScheme() {
+	s, _ := rlnoc.ParseScheme("arq-ecc")
+	fmt.Println(s)
+	_, err := rlnoc.ParseScheme("laser")
+	fmt.Println(err != nil)
+	// Output:
+	// arq-ecc
+	// true
+}
+
+// ExampleBenchmarks lists the PARSEC-like workloads.
+func ExampleBenchmarks() {
+	for _, b := range rlnoc.Benchmarks()[:3] {
+		fmt.Println(b)
+	}
+	// Output:
+	// blackscholes
+	// bodytrack
+	// canneal
+}

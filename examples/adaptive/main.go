@@ -1,0 +1,49 @@
+// Adaptive: watch the per-router RL agents switch operation modes live as
+// a bursty benchmark heats the chip up and cools it down.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rlnoc"
+)
+
+func main() {
+	cfg := rlnoc.SmallConfig()
+	cfg.MaxCycles = 60_000
+
+	sess, err := rlnoc.NewSession(cfg, rlnoc.RL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pre-training the RL agents on synthetic traffic...")
+	if err := sess.Pretrain(); err != nil {
+		log.Fatal(err)
+	}
+
+	events, err := rlnoc.BenchmarkTrace(cfg, "streamcluster", int64(cfg.MaxCycles), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nmeasurement phase: mode occupancy every 5K cycles")
+	fmt.Printf("%10s %8s %8s  %s\n", "cycle", "meanC", "maxC", "router modes  [m0 m1 m2 m3]")
+	sess.Observe(5000, func(s rlnoc.Snapshot) {
+		bar := func(n int) string { return strings.Repeat("#", n) }
+		fmt.Printf("%10d %8.1f %8.1f  [%2d %2d %2d %2d]  %s|%s|%s|%s\n",
+			s.Cycle, s.MeanTempC, s.MaxTempC,
+			s.ModeCounts[0], s.ModeCounts[1], s.ModeCounts[2], s.ModeCounts[3],
+			bar(s.ModeCounts[0]), bar(s.ModeCounts[1]), bar(s.ModeCounts[2]), bar(s.ModeCounts[3]))
+	})
+
+	res, err := sess.Measure(events, "streamcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal: latency %.2f cycles, %.1f flits/uJ, %d E2E retransmissions\n",
+		res.MeanLatency, res.EnergyEfficiency, res.Summary.SourceRetransmissions)
+}

@@ -1,0 +1,160 @@
+package rlnoc
+
+import (
+	"strings"
+	"testing"
+)
+
+// fabricate builds a Suite by hand so figure derivation can be tested
+// without expensive runs.
+func fabricate() *Suite {
+	mk := func(scheme Scheme, retx float64, exec int64, lat, eff, dyn float64) Result {
+		return Result{
+			Scheme:                scheme,
+			RetransmittedPacketEq: retx,
+			ExecutionCycles:       exec,
+			MeanLatency:           lat,
+			EnergyEfficiency:      eff,
+			DynamicPowerW:         dyn,
+		}
+	}
+	return &Suite{
+		Benchmarks: []string{"alpha", "beta"},
+		Results: map[string]map[Scheme]Result{
+			"alpha": {
+				CRC: mk(CRC, 100, 1000, 50, 1000, 0.10),
+				ARQ: mk(ARQ, 60, 900, 35, 1300, 0.08),
+				DT:  mk(DT, 55, 850, 27, 1400, 0.07),
+				RL:  mk(RL, 50, 800, 25, 1600, 0.05),
+			},
+			"beta": {
+				CRC: mk(CRC, 200, 2000, 80, 800, 0.20),
+				ARQ: mk(ARQ, 120, 1800, 60, 1000, 0.16),
+				DT:  mk(DT, 110, 1700, 44, 1100, 0.14),
+				RL:  mk(RL, 90, 1500, 40, 1300, 0.11),
+			},
+		},
+	}
+}
+
+func TestFigureDerivation(t *testing.T) {
+	s := fabricate()
+
+	fig6, err := s.Figure(Fig6Retransmission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fig6.Rows["alpha"][RL]; got != 0.5 {
+		t.Errorf("fig6 alpha RL = %g, want 0.5", got)
+	}
+	if got := fig6.Mean[RL]; got != (0.5+0.45)/2 {
+		t.Errorf("fig6 mean RL = %g", got)
+	}
+	if !fig6.LowerIsBetter {
+		t.Error("fig6 direction wrong")
+	}
+
+	fig7, err := s.Figure(Fig7Speedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fig7.Rows["alpha"][RL]; got != 1.25 {
+		t.Errorf("fig7 alpha RL speedup = %g, want 1.25", got)
+	}
+	if fig7.LowerIsBetter {
+		t.Error("fig7 direction wrong")
+	}
+
+	fig8, err := s.Figure(Fig8Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fig8.Rows["beta"][ARQ]; got != 0.75 {
+		t.Errorf("fig8 beta ARQ = %g, want 0.75", got)
+	}
+
+	fig9, err := s.Figure(Fig9EnergyEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fig9.Rows["alpha"][RL]; got != 1.6 {
+		t.Errorf("fig9 alpha RL = %g, want 1.6", got)
+	}
+
+	fig10, err := s.Figure(Fig10DynamicPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fig10.Rows["alpha"][RL]; got != 0.5 {
+		t.Errorf("fig10 alpha RL = %g, want 0.5", got)
+	}
+}
+
+func TestFigureZeroBaseline(t *testing.T) {
+	s := fabricate()
+	// Zero retransmissions everywhere: normalized values read as parity.
+	for _, sc := range Schemes() {
+		r := s.Results["alpha"][sc]
+		r.RetransmittedPacketEq = 0
+		s.Results["alpha"][sc] = r
+	}
+	fig6, err := s.Figure(Fig6Retransmission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range Schemes() {
+		if got := fig6.Rows["alpha"][sc]; got != 1 {
+			t.Errorf("0/0 normalization: %s = %g, want 1", sc, got)
+		}
+	}
+}
+
+func TestFigureChartRenders(t *testing.T) {
+	s := fabricate()
+	fig, err := s.Figure(Fig8Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := fig.Chart()
+	for _, want := range []string{"alpha", "beta", "mean", "#", "crc", "rl"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+}
+
+func TestMultiSuiteAggregation(t *testing.T) {
+	a := fabricate()
+	b := fabricate()
+	// Perturb the second seed's RL latency.
+	r := b.Results["alpha"][RL]
+	r.MeanLatency = 35 // alpha RL: 0.5 -> 0.7 normalized
+	b.Results["alpha"][RL] = r
+	m := &MultiSuite{Suites: []*Suite{a, b}}
+	fig, std, err := m.Figure(Fig8Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fig.Rows["alpha"][RL]; got != 0.6 {
+		t.Errorf("aggregated alpha RL = %g, want 0.6", got)
+	}
+	if std[RL] <= 0 {
+		t.Error("std of perturbed scheme is zero")
+	}
+	if std[CRC] != 0 {
+		t.Errorf("std of identical scheme = %g, want 0", std[CRC])
+	}
+}
+
+func TestMultiSuiteEmpty(t *testing.T) {
+	m := &MultiSuite{}
+	if _, _, err := m.Figure(Fig8Latency); err == nil {
+		t.Fatal("empty multi-suite accepted")
+	}
+}
+
+func TestUnknownFigureRejected(t *testing.T) {
+	if _, err := fabricate().Figure("fig42"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module rlnoc
+
+go 1.22

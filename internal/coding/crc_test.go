@@ -1,0 +1,98 @@
+package coding
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("123456789"),
+		[]byte("hello, NoC"),
+		make([]byte, 1024),
+	}
+	rng := rand.New(rand.NewSource(7))
+	random := make([]byte, 333)
+	for i := range random {
+		random[i] = byte(rng.Intn(256))
+	}
+	cases = append(cases, random)
+	for _, c := range cases {
+		if got, want := CRC32(c), crc32.ChecksumIEEE(c); got != want {
+			t.Errorf("CRC32(%q) = %#x, want %#x", c, got, want)
+		}
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("CRC16(check) = %#x, want 0x29B1", got)
+	}
+}
+
+func TestCRC8KnownVector(t *testing.T) {
+	// CRC-8 (poly 0x07, init 0) of "123456789" is 0xF4.
+	if got := CRC8([]byte("123456789")); got != 0xF4 {
+		t.Errorf("CRC8(check) = %#x, want 0xF4", got)
+	}
+}
+
+// Property: every 1- and 2-bit corruption of a 128-bit flit payload is
+// detected by CRC-16/CCITT (guaranteed for block lengths < 32767 bits).
+func TestCRC16DetectsAllSingleAndDoubleBitErrors(t *testing.T) {
+	words := []uint64{0xDEADBEEFCAFEBABE, 0x0123456789ABCDEF}
+	orig := CRC16Words(words)
+	flip := func(i int) {
+		words[i/64] ^= 1 << uint(i%64)
+	}
+	for i := 0; i < 128; i++ {
+		flip(i)
+		if CRC16Words(words) == orig {
+			t.Fatalf("single-bit flip at %d undetected", i)
+		}
+		for j := i + 1; j < 128; j++ {
+			flip(j)
+			if CRC16Words(words) == orig {
+				t.Fatalf("double-bit flip at %d,%d undetected", i, j)
+			}
+			flip(j)
+		}
+		flip(i)
+	}
+}
+
+func TestCRC16WordsMatchesByteSerialization(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		buf := make([]byte, 16)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(a >> (8 * uint(i)))
+			buf[8+i] = byte(b >> (8 * uint(i)))
+		}
+		return CRC16Words([]uint64{a, b}) == CRC16(buf)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCEmptyInputs(t *testing.T) {
+	if CRC16Words(nil) != CRC16(nil) {
+		t.Error("empty CRC16Words disagrees with empty CRC16")
+	}
+	if CRC8(nil) != 0 {
+		t.Error("CRC8(nil) != 0")
+	}
+}
+
+func BenchmarkCRC16Flit(b *testing.B) {
+	words := []uint64{0xDEADBEEFCAFEBABE, 0x0123456789ABCDEF}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = CRC16Words(words)
+	}
+}

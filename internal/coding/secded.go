@@ -1,0 +1,139 @@
+package coding
+
+import "math/bits"
+
+// The extended Hamming(72,64) SECDED code protects one 64-bit payload word
+// with 8 check bits: 7 Hamming parity bits placed (conceptually) at
+// power-of-two codeword positions 1,2,4,...,64 plus one overall parity bit.
+// Single-bit errors are corrected; double-bit errors are detected (and
+// reported uncorrectable), exactly the SECDED capability the ARQ+ECC
+// routers in the paper rely on.
+
+// DecodeResult classifies the outcome of a SECDED decode.
+type DecodeResult int
+
+const (
+	// DecodeOK means no error was present.
+	DecodeOK DecodeResult = iota
+	// DecodeCorrected means a single-bit error was corrected; the
+	// returned word is the corrected payload.
+	DecodeCorrected
+	// DecodeDetected means an uncorrectable (double-bit) error was
+	// detected; the receiver must request a retransmission (NACK).
+	DecodeDetected
+)
+
+func (r DecodeResult) String() string {
+	switch r {
+	case DecodeOK:
+		return "ok"
+	case DecodeCorrected:
+		return "corrected"
+	case DecodeDetected:
+		return "detected"
+	default:
+		return "unknown"
+	}
+}
+
+// Codeword positions run 1..71; the 7 positions that are powers of two
+// hold Hamming parity bits, the remaining 64 hold data bits in order.
+// dataPos[i] is the codeword position of data bit i; posToData maps a
+// codeword position back to the data bit index (or -1 for parity
+// positions). parityMask[p] selects, as a mask over the 64 data bits, the
+// data bits covered by Hamming parity bit p (those whose codeword position
+// has bit p set).
+var (
+	dataPos    [64]uint8
+	posToData  [72]int8
+	parityMask [7]uint64
+)
+
+func init() {
+	for i := range posToData {
+		posToData[i] = -1
+	}
+	idx := 0
+	for pos := 1; pos <= 71; pos++ {
+		if pos&(pos-1) == 0 { // power of two: parity position
+			continue
+		}
+		dataPos[idx] = uint8(pos)
+		posToData[pos] = int8(idx)
+		idx++
+	}
+	if idx != 64 {
+		panic("coding: SECDED data position layout broken")
+	}
+	for p := 0; p < 7; p++ {
+		var mask uint64
+		for i, pos := range dataPos {
+			if pos&(1<<uint(p)) != 0 {
+				mask |= 1 << uint(i)
+			}
+		}
+		parityMask[p] = mask
+	}
+}
+
+// hamming computes the 7 Hamming parity bits over a data word.
+func hamming(data uint64) uint8 {
+	var h uint8
+	for p := 0; p < 7; p++ {
+		if bits.OnesCount64(data&parityMask[p])&1 != 0 {
+			h |= 1 << uint(p)
+		}
+	}
+	return h
+}
+
+// EncodeSECDED computes the 8 check bits for a 64-bit data word. Bit p
+// (p = 0..6) of the result is Hamming parity bit p; bit 7 is the overall
+// parity bit, chosen so the full 72-bit codeword has even parity.
+func EncodeSECDED(data uint64) uint8 {
+	check := hamming(data)
+	overall := bits.OnesCount64(data) + bits.OnesCount8(check)
+	if overall&1 != 0 {
+		check |= 1 << 7
+	}
+	return check
+}
+
+// DecodeSECDED checks (and if possible corrects) a received data word and
+// its check bits. It returns the (possibly corrected) data word and the
+// decode outcome. Errors may be in the data bits or the check bits; a
+// single flipped check bit is also corrected.
+func DecodeSECDED(data uint64, check uint8) (uint64, DecodeResult) {
+	syndrome := (hamming(data) ^ check) & 0x7F
+	// Even overall codeword parity means zero or an even number of bit
+	// errors; odd parity means an odd number (assumed one).
+	parityMismatch := (bits.OnesCount64(data)+bits.OnesCount8(check))&1 != 0
+
+	switch {
+	case syndrome == 0 && !parityMismatch:
+		return data, DecodeOK
+	case parityMismatch:
+		// Odd number of bit errors: assume one, correct it. (A 3+-bit
+		// burst can land here too: if its syndrome aliases a valid
+		// position the decoder miscorrects — silently, as real SECDED
+		// does — and the end-to-end CRC is the only remaining net.)
+		if syndrome == 0 {
+			// The overall parity bit itself flipped; data is intact.
+			return data, DecodeCorrected
+		}
+		if int(syndrome) >= len(posToData) {
+			// Syndrome outside the codeword: provably multi-bit.
+			return data, DecodeDetected
+		}
+		di := posToData[syndrome]
+		if di < 0 {
+			// A Hamming parity bit flipped; data is intact.
+			return data, DecodeCorrected
+		}
+		return data ^ (1 << uint(di)), DecodeCorrected
+	default:
+		// syndrome != 0 with matching overall parity: even number of
+		// errors, uncorrectable.
+		return data, DecodeDetected
+	}
+}

@@ -1,0 +1,127 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSECDEDNoError(t *testing.T) {
+	prop := func(data uint64) bool {
+		check := EncodeSECDED(data)
+		got, res := DecodeSECDED(data, check)
+		return res == DecodeOK && got == data
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every single-bit error in the data word is corrected.
+func TestSECDEDCorrectsAllSingleDataBitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		data := rng.Uint64()
+		check := EncodeSECDED(data)
+		for bit := 0; bit < 64; bit++ {
+			corrupted := data ^ (1 << uint(bit))
+			got, res := DecodeSECDED(corrupted, check)
+			if res != DecodeCorrected {
+				t.Fatalf("data bit %d: result %v, want corrected", bit, res)
+			}
+			if got != data {
+				t.Fatalf("data bit %d: corrected to %#x, want %#x", bit, got, data)
+			}
+		}
+	}
+}
+
+// Property: every single-bit error in the check byte is tolerated (data is
+// returned intact).
+func TestSECDEDCorrectsAllSingleCheckBitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		data := rng.Uint64()
+		check := EncodeSECDED(data)
+		for bit := 0; bit < 8; bit++ {
+			got, res := DecodeSECDED(data, check^(1<<uint(bit)))
+			if res != DecodeCorrected {
+				t.Fatalf("check bit %d: result %v, want corrected", bit, res)
+			}
+			if got != data {
+				t.Fatalf("check bit %d: data mangled to %#x, want %#x", bit, got, data)
+			}
+		}
+	}
+}
+
+// Property: every double-bit error across the 72-bit codeword is detected
+// (never silently accepted, never miscorrected into an "OK").
+func TestSECDEDDetectsAllDoubleBitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		data := rng.Uint64()
+		check := EncodeSECDED(data)
+		// Represent the codeword as 64 data bits (indices 0..63) plus 8
+		// check bits (indices 64..71).
+		flip := func(d uint64, c uint8, i int) (uint64, uint8) {
+			if i < 64 {
+				return d ^ (1 << uint(i)), c
+			}
+			return d, c ^ (1 << uint(i-64))
+		}
+		for i := 0; i < 72; i++ {
+			for j := i + 1; j < 72; j++ {
+				d1, c1 := flip(data, check, i)
+				d2, c2 := flip(d1, c1, j)
+				_, res := DecodeSECDED(d2, c2)
+				if res != DecodeDetected {
+					t.Fatalf("double error at %d,%d: result %v, want detected", i, j, res)
+				}
+			}
+		}
+	}
+}
+
+func TestSECDEDEncodeDeterministic(t *testing.T) {
+	if EncodeSECDED(0) != 0 {
+		t.Errorf("EncodeSECDED(0) = %#x, want 0", EncodeSECDED(0))
+	}
+	a, b := EncodeSECDED(0xFFFFFFFFFFFFFFFF), EncodeSECDED(0xFFFFFFFFFFFFFFFF)
+	if a != b {
+		t.Error("EncodeSECDED not deterministic")
+	}
+}
+
+func TestDecodeResultString(t *testing.T) {
+	if DecodeOK.String() != "ok" || DecodeCorrected.String() != "corrected" ||
+		DecodeDetected.String() != "detected" || DecodeResult(9).String() != "unknown" {
+		t.Error("DecodeResult strings wrong")
+	}
+}
+
+func BenchmarkSECDEDEncode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeSECDED(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}
+
+func BenchmarkSECDEDDecodeClean(b *testing.B) {
+	data := uint64(0xDEADBEEFCAFEBABE)
+	check := EncodeSECDED(data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = DecodeSECDED(data, check)
+	}
+}
+
+func BenchmarkSECDEDDecodeCorrect(b *testing.B) {
+	data := uint64(0xDEADBEEFCAFEBABE)
+	check := EncodeSECDED(data)
+	corrupted := data ^ (1 << 17)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = DecodeSECDED(corrupted, check)
+	}
+}

@@ -1,0 +1,342 @@
+// Package config defines the simulation parameters for the RL-driven
+// fault-tolerant NoC simulator and their defaults, mirroring Table II of
+// the paper (8x8 2D mesh, X-Y routing, 4-stage routers, 4 VCs per port,
+// 128-bit flits, 4 flits per packet, 32 nm, 1.0 V, 2.0 GHz).
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Routing selects the routing algorithm used by the mesh.
+type Routing string
+
+// Supported routing algorithms.
+const (
+	RoutingXY Routing = "xy" // dimension-ordered, X first (deadlock-free)
+	RoutingYX Routing = "yx" // dimension-ordered, Y first (deadlock-free)
+	// RoutingWestFirst is partially adaptive (Glass & Ni turn model):
+	// West hops first, then congestion-aware choice among the remaining
+	// productive directions. Deadlock-free.
+	RoutingWestFirst Routing = "westfirst"
+)
+
+// Config collects every tunable of a simulation run. The zero value is not
+// usable; start from Default and override.
+type Config struct {
+	// Topology.
+	Width  int `json:"width"`  // mesh columns
+	Height int `json:"height"` // mesh rows
+
+	Routing Routing `json:"routing"`
+
+	// Router microarchitecture.
+	VCsPerPort   int `json:"vcs_per_port"`   // virtual channels per input port
+	VCDepth      int `json:"vc_depth"`       // flit slots per VC buffer
+	PipelineDepth int `json:"pipeline_depth"` // router pipeline stages (RC,VA,SA,ST)
+	OutputBuffer int `json:"output_buffer"`  // per-port output (retransmission) buffer slots
+
+	// Packet format.
+	FlitBits       int `json:"flit_bits"`        // payload bits per flit
+	FlitsPerPacket int `json:"flits_per_packet"` // flits per data packet
+
+	// Electrical operating point.
+	VoltageV     float64 `json:"voltage_v"`
+	FrequencyGHz float64 `json:"frequency_ghz"`
+
+	// Fault model.
+	Fault FaultConfig `json:"fault"`
+
+	// Thermal model.
+	Thermal ThermalConfig `json:"thermal"`
+
+	// RL controller.
+	RL RLConfig `json:"rl"`
+
+	// Simulation phases, in cycles.
+	PretrainCycles int `json:"pretrain_cycles"` // RL/DT pre-training on synthetic traffic
+	WarmupCycles   int `json:"warmup_cycles"`   // stats ignored
+	MaxCycles      int `json:"max_cycles"`      // hard cap on measured phase
+	DrainCycles    int `json:"drain_cycles"`    // cap on post-trace drain
+
+	// SourceWindow caps outstanding (undelivered) packets per source
+	// node; injection stalls at the cap, modeling cores blocking on
+	// outstanding transactions. This is what lets a slow network stretch
+	// application execution time (Fig. 7). 0 disables the window
+	// (pure open-loop replay).
+	SourceWindow int `json:"source_window"`
+
+	// Random seed for every stochastic component (fault injection,
+	// exploration, traffic synthesis). Runs are deterministic per seed.
+	Seed int64 `json:"seed"`
+}
+
+// FaultConfig parameterizes the VARIUS-like timing-error model
+// (Gaussian critical-path slack; see internal/fault).
+type FaultConfig struct {
+	// BaseErrorRate is the per-flit per-hop timing-error probability at
+	// the calibration point (T = TRefC, configured voltage and frequency,
+	// zero utilization); the model's path-delay sigma is solved from it.
+	BaseErrorRate float64 `json:"base_error_rate"`
+	// TempSensitivity is the fractional critical-path delay increase per
+	// degree Celsius above TRefC (VARIUS models delay growing with
+	// temperature; the error probability then follows the Gaussian tail).
+	TempSensitivity float64 `json:"temp_sensitivity"`
+	// UtilSensitivity is the fractional delay increase at full link
+	// utilization (supply noise / IR-drop proxy).
+	UtilSensitivity float64 `json:"util_sensitivity"`
+	// TRefC is the reference temperature in Celsius.
+	TRefC float64 `json:"t_ref_c"`
+	// DoubleBitFraction is the fraction of error events that flip two bits
+	// (SECDED-detectable but uncorrectable); the rest flip one bit.
+	DoubleBitFraction float64 `json:"double_bit_fraction"`
+	// RelaxedScale multiplies the error probability when a router operates
+	// in Mode 3 (timing relaxation); near zero per the paper.
+	RelaxedScale float64 `json:"relaxed_scale"`
+	// ProcessSigma is the standard deviation of the per-link fractional
+	// delay variation (within-die process variation).
+	ProcessSigma float64 `json:"process_sigma"`
+	// NominalSlack is the fraction of the clock period left as timing
+	// slack at the calibration point (e.g. 0.08 = critical path uses 92%
+	// of the cycle).
+	NominalSlack float64 `json:"nominal_slack"`
+	// CriticalPaths is the number of independent critical paths per link
+	// stage.
+	CriticalPaths int `json:"critical_paths"`
+}
+
+// ThermalConfig parameterizes the HotSpot-like RC thermal grid.
+type ThermalConfig struct {
+	AmbientC       float64 `json:"ambient_c"`        // ambient temperature
+	RThetaJA       float64 `json:"r_theta_ja"`       // vertical thermal resistance to ambient (K/W)
+	RThetaLateral  float64 `json:"r_theta_lateral"`  // lateral resistance between adjacent tiles (K/W)
+	CThermal       float64 `json:"c_thermal"`        // tile thermal capacitance (J/K)
+	UpdatePeriod   int     `json:"update_period"`    // cycles between thermal solves
+	InitialC       float64 `json:"initial_c"`        // initial tile temperature
+}
+
+// RLConfig parameterizes the tabular Q-learning controller.
+type RLConfig struct {
+	Alpha      float64 `json:"alpha"`       // learning rate
+	Gamma      float64 `json:"gamma"`       // discount rate
+	Epsilon    float64 `json:"epsilon"`     // exploration probability
+	StepCycles int     `json:"step_cycles"` // cycles per RL time step
+	// FreezeAfterPretrain stops learning after the pre-training phase
+	// (the paper's RL keeps learning during testing; this enables the
+	// DT-style frozen ablation).
+	FreezeAfterPretrain bool `json:"freeze_after_pretrain"`
+	// SharedTable makes all per-router agents learn into one shared
+	// Q-table (n-times the sample rate; see DESIGN.md). The paper's
+	// strictly per-router tables are the ablation variant.
+	SharedTable bool `json:"shared_table"`
+	// AlphaDecay reduces each (state,action) cell's learning rate with
+	// its visit count (the paper notes alpha "can be reduced over time"
+	// for convergence); Alpha then acts as the initial rate.
+	AlphaDecay bool `json:"alpha_decay"`
+	// TestEpsilon is the exploration rate used during the measured
+	// testing phase (annealed from the pre-training Epsilon; standard
+	// practice, and every random mode costs real latency). Set negative
+	// to keep Epsilon throughout, as a literal reading of the paper
+	// would.
+	TestEpsilon float64 `json:"test_epsilon"`
+	// DoubleQ enables Double Q-learning (two tables, decoupled action
+	// selection/evaluation), removing the max-operator's overestimation
+	// bias — an ablation variant; the paper uses plain Q-learning.
+	DoubleQ bool `json:"double_q"`
+}
+
+// Default returns the paper's Table II configuration with fault, thermal
+// and RL parameters chosen to land operating temperatures in the paper's
+// observed [50,100] C range and link utilizations below 0.3 flits/cycle.
+func Default() Config {
+	return Config{
+		Width:          8,
+		Height:         8,
+		Routing:        RoutingXY,
+		VCsPerPort:     4,
+		VCDepth:        4,
+		PipelineDepth:  4,
+		OutputBuffer:   8,
+		FlitBits:       128,
+		FlitsPerPacket: 4,
+		VoltageV:       1.0,
+		FrequencyGHz:   2.0,
+		Fault: FaultConfig{
+			BaseErrorRate:     0.00002,
+			TempSensitivity:   0.0012,
+			UtilSensitivity:   0.005,
+			TRefC:             50.0,
+			DoubleBitFraction: 0.25,
+			RelaxedScale:      0.001,
+			ProcessSigma:      0.01,
+			NominalSlack:      0.08,
+			CriticalPaths:     16,
+		},
+		Thermal: ThermalConfig{
+			AmbientC:      45.0,
+			RThetaJA:      25.0,
+			RThetaLateral: 60.0,
+			CThermal:      1.0e-6,
+			// Divides the RL step (1000 cycles) exactly so per-epoch
+			// leakage accrual is uniform; a non-divisor alternates 3 vs 4
+			// accruals per epoch and injects artificial power noise into
+			// the RL reward.
+			UpdatePeriod: 250,
+			InitialC:     55.0,
+		},
+		RL: RLConfig{
+			Alpha:   0.1,
+			Gamma:   0.5,
+			// The paper quotes epsilon = 0.1 without distinguishing
+			// phases; we explore harder during pre-training and anneal
+			// for the measured phase (TestEpsilon).
+			Epsilon:     0.2,
+			StepCycles:  1000,
+			SharedTable: true,
+			AlphaDecay:  true,
+			TestEpsilon: 0.02,
+		},
+		PretrainCycles: 600_000,
+		WarmupCycles:   50_000,
+		MaxCycles:      200_000,
+		DrainCycles:    50_000,
+		SourceWindow:   4,
+		Seed:           1,
+	}
+}
+
+// Small returns a scaled-down configuration (4x4 mesh, short phases)
+// suitable for unit tests and quick examples.
+func Small() Config {
+	c := Default()
+	c.Width, c.Height = 4, 4
+	c.PretrainCycles = 8_000
+	c.WarmupCycles = 2_000
+	c.MaxCycles = 20_000
+	c.DrainCycles = 10_000
+	return c
+}
+
+// Validate reports the first invalid parameter, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Width < 2 || c.Height < 2:
+		return fmt.Errorf("config: mesh must be at least 2x2, got %dx%d", c.Width, c.Height)
+	case c.Width > 64 || c.Height > 64:
+		return fmt.Errorf("config: mesh dimension above 64 unsupported, got %dx%d", c.Width, c.Height)
+	case c.Routing != RoutingXY && c.Routing != RoutingYX && c.Routing != RoutingWestFirst:
+		return fmt.Errorf("config: unknown routing %q", c.Routing)
+	case c.VCsPerPort < 2:
+		return fmt.Errorf("config: need at least 2 VCs per port (data + control), got %d", c.VCsPerPort)
+	case c.VCDepth < 1:
+		return fmt.Errorf("config: VC depth must be positive, got %d", c.VCDepth)
+	case c.PipelineDepth < 1:
+		return fmt.Errorf("config: pipeline depth must be positive, got %d", c.PipelineDepth)
+	case c.OutputBuffer < 1:
+		return fmt.Errorf("config: output buffer must be positive, got %d", c.OutputBuffer)
+	case c.FlitBits < 8 || c.FlitBits%8 != 0:
+		return fmt.Errorf("config: flit bits must be a positive multiple of 8, got %d", c.FlitBits)
+	case c.FlitsPerPacket < 1:
+		return fmt.Errorf("config: flits per packet must be positive, got %d", c.FlitsPerPacket)
+	case c.VoltageV <= 0:
+		return fmt.Errorf("config: voltage must be positive, got %g", c.VoltageV)
+	case c.FrequencyGHz <= 0:
+		return fmt.Errorf("config: frequency must be positive, got %g", c.FrequencyGHz)
+	case c.MaxCycles < 1:
+		return fmt.Errorf("config: max cycles must be positive, got %d", c.MaxCycles)
+	case c.PretrainCycles < 0 || c.WarmupCycles < 0 || c.DrainCycles < 0:
+		return fmt.Errorf("config: phase lengths must be non-negative")
+	case c.SourceWindow < 0:
+		return fmt.Errorf("config: source window must be non-negative, got %d", c.SourceWindow)
+	}
+	if err := c.Fault.validate(); err != nil {
+		return err
+	}
+	if err := c.Thermal.validate(); err != nil {
+		return err
+	}
+	return c.RL.validate()
+}
+
+func (f *FaultConfig) validate() error {
+	switch {
+	case f.BaseErrorRate < 0 || f.BaseErrorRate > 1:
+		return fmt.Errorf("config: base error rate must be in [0,1], got %g", f.BaseErrorRate)
+	case f.DoubleBitFraction < 0 || f.DoubleBitFraction > 1:
+		return fmt.Errorf("config: double-bit fraction must be in [0,1], got %g", f.DoubleBitFraction)
+	case f.RelaxedScale < 0 || f.RelaxedScale > 1:
+		return fmt.Errorf("config: relaxed scale must be in [0,1], got %g", f.RelaxedScale)
+	case f.TempSensitivity < 0:
+		return fmt.Errorf("config: temperature sensitivity must be non-negative, got %g", f.TempSensitivity)
+	case f.UtilSensitivity < 0:
+		return fmt.Errorf("config: utilization sensitivity must be non-negative, got %g", f.UtilSensitivity)
+	case f.ProcessSigma < 0:
+		return fmt.Errorf("config: process sigma must be non-negative, got %g", f.ProcessSigma)
+	case f.NominalSlack <= 0 || f.NominalSlack >= 1:
+		return fmt.Errorf("config: nominal slack must be in (0,1), got %g", f.NominalSlack)
+	case f.CriticalPaths < 1:
+		return fmt.Errorf("config: critical paths must be positive, got %d", f.CriticalPaths)
+	}
+	return nil
+}
+
+func (t *ThermalConfig) validate() error {
+	switch {
+	case t.RThetaJA <= 0 || t.RThetaLateral <= 0:
+		return fmt.Errorf("config: thermal resistances must be positive")
+	case t.CThermal <= 0:
+		return fmt.Errorf("config: thermal capacitance must be positive, got %g", t.CThermal)
+	case t.UpdatePeriod < 1:
+		return fmt.Errorf("config: thermal update period must be positive, got %d", t.UpdatePeriod)
+	}
+	return nil
+}
+
+func (r *RLConfig) validate() error {
+	switch {
+	case r.Alpha <= 0 || r.Alpha > 1:
+		return fmt.Errorf("config: RL alpha must be in (0,1], got %g", r.Alpha)
+	case r.Gamma < 0 || r.Gamma >= 1:
+		return fmt.Errorf("config: RL gamma must be in [0,1), got %g", r.Gamma)
+	case r.Epsilon < 0 || r.Epsilon > 1:
+		return fmt.Errorf("config: RL epsilon must be in [0,1], got %g", r.Epsilon)
+	case r.TestEpsilon > 1:
+		return fmt.Errorf("config: RL test epsilon must be <= 1, got %g", r.TestEpsilon)
+	case r.StepCycles < 1:
+		return fmt.Errorf("config: RL step must be positive, got %d", r.StepCycles)
+	}
+	return nil
+}
+
+// Routers returns the number of routers in the mesh.
+func (c *Config) Routers() int { return c.Width * c.Height }
+
+// CyclePeriodNS returns the clock period in nanoseconds.
+func (c *Config) CyclePeriodNS() float64 { return 1.0 / c.FrequencyGHz }
+
+// Load reads a JSON configuration file, filling unset fields from Default.
+func Load(path string) (Config, error) {
+	c := Default()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, fmt.Errorf("config: %w", err)
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("config: parsing %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// Save writes the configuration as indented JSON.
+func (c *Config) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

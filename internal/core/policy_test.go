@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"rlnoc/internal/config"
+	"rlnoc/internal/network"
+	"rlnoc/internal/rl"
+)
+
+func TestPolicySaveLoadRoundTrip(t *testing.T) {
+	cfg := config.Small()
+	src := NewRLController(cfg, 4)
+	// Teach it something.
+	for i := 0; i < 50; i++ {
+		src.Decide(i%4, network.Observation{
+			Features:      rl.Features{TemperatureC: 80},
+			WindowLatency: 10, WindowPowerW: 0.002,
+		})
+	}
+	var buf bytes.Buffer
+	if err := src.SavePolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewRLController(cfg, 4)
+	if err := dst.LoadPolicy(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	s := rl.DefaultDiscretizer().Discretize(rl.Features{TemperatureC: 80})
+	for a := 0; a < rl.NumActions; a++ {
+		if src.Agents()[0].Q(s, a) != dst.Agents()[0].Q(s, a) {
+			t.Fatalf("Q(s,%d) differs after round trip", a)
+		}
+	}
+}
+
+func TestPolicyLoadRejectsMismatch(t *testing.T) {
+	cfg := config.Small()
+	src := NewRLController(cfg, 4)
+	var buf bytes.Buffer
+	if err := src.SavePolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewRLController(cfg, 8)
+	if err := dst.LoadPolicy(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("agent-count mismatch accepted")
+	}
+	if err := dst.LoadPolicy(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestPolicyDumpRenders(t *testing.T) {
+	cfg := config.Small()
+	c := NewRLController(cfg, 2)
+	for i := 0; i < 30; i++ {
+		c.Decide(i%2, network.Observation{
+			Features:      rl.Features{TemperatureC: 60 + float64(10*(i%3))},
+			WindowLatency: 8, WindowPowerW: 0.002,
+		})
+	}
+	out := c.PolicyDump(5)
+	if out == "" || !bytes.Contains([]byte(out), []byte("distinct states visited")) {
+		t.Fatalf("dump malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+
+	"rlnoc/internal/config"
+	"rlnoc/internal/network"
+	"rlnoc/internal/stats"
+	"rlnoc/internal/topology"
+	"rlnoc/internal/traffic"
+)
+
+// meshOf builds the topology described by a config.
+func meshOf(cfg config.Config) (*topology.Mesh, error) {
+	return topology.NewMesh(cfg.Width, cfg.Height)
+}
+
+// pretrainSegments are the synthetic traffic phases of the pre-training
+// program. Mixing rates and patterns sweeps the controllers through cool
+// and hot, quiet and congested operating points so the learned policy
+// covers the state space the benchmarks later visit (the paper pre-trains
+// on synthetic traffic for 1M cycles).
+var pretrainSegments = []struct {
+	pattern traffic.Pattern
+	rate    float64
+}{
+	{traffic.Uniform, 0.001},
+	{traffic.Uniform, 0.006},
+	{traffic.Hotspot, 0.004},
+	{traffic.Transpose, 0.003},
+	{traffic.Uniform, 0.009},
+	{traffic.Neighbor, 0.002},
+}
+
+// Result is the outcome of one benchmark run under one scheme: the raw
+// material of every figure in the paper.
+type Result struct {
+	Scheme    Scheme
+	Benchmark string
+
+	// ExecutionCycles is the full testing-phase execution time (trace
+	// start to last delivery), the Fig. 7 quantity.
+	ExecutionCycles int64
+	// Drained reports whether all traffic completed within the cycle cap.
+	Drained bool
+
+	// MeanLatency is the average end-to-end packet latency in cycles
+	// (Fig. 8).
+	MeanLatency float64
+	// RetransmittedPacketEq is retransmission traffic in packet
+	// equivalents (Fig. 6).
+	RetransmittedPacketEq float64
+
+	// Energy over the measurement window, picojoules.
+	DynamicPJ float64
+	StaticPJ  float64
+	TotalPJ   float64
+	// DynamicPowerW is the average dynamic power (Fig. 10).
+	DynamicPowerW float64
+	// EnergyEfficiency is flits delivered per microjoule (Fig. 9 defines
+	// efficiency as flits/energy).
+	EnergyEfficiency float64
+
+	FlitsDelivered int64
+
+	MeanTempC float64
+	MaxTempC  float64
+
+	// ModeDecisions counts controller decisions per operation mode over
+	// the whole run (adaptive schemes only).
+	ModeDecisions [int(network.NumModes)]int64
+	// ModeMeanReward is the mean RL reward observed after each mode
+	// (RL scheme only).
+	ModeMeanReward [int(network.NumModes)]float64
+
+	Summary stats.Summary
+}
+
+// Sim runs one scheme through the paper's phase sequence over a given
+// test trace.
+type Sim struct {
+	cfg    config.Config
+	scheme Scheme
+	net    *network.Network
+	ctrl   network.Controller
+
+	observerEvery int64
+	observer      func(Snapshot)
+}
+
+// Snapshot is a live view of the running network, delivered to observers
+// during the measurement phase (e.g. to watch the RL agents adapt).
+type Snapshot struct {
+	Cycle        int64
+	ModeCounts   [int(network.NumModes)]int // routers currently in each mode
+	Modes        []int                      // per-router operation mode
+	TempsC       []float64                  // per-router tile temperature
+	MeanTempC    float64
+	MaxTempC     float64
+	DataInFlight int
+}
+
+// SetObserver registers fn to be called every `every` cycles of the
+// measurement phase.
+func (s *Sim) SetObserver(every int64, fn func(Snapshot)) {
+	s.observerEvery = every
+	s.observer = fn
+}
+
+func (s *Sim) snapshot() Snapshot {
+	snap := Snapshot{
+		Cycle:        s.net.Cycle(),
+		MeanTempC:    s.net.Thermal().MeanTemperature(),
+		MaxTempC:     s.net.Thermal().MaxTemperature(),
+		DataInFlight: s.net.DataInFlight(),
+	}
+	for _, m := range s.net.Modes() {
+		snap.ModeCounts[m]++
+		snap.Modes = append(snap.Modes, int(m))
+	}
+	snap.TempsC = append(snap.TempsC, s.net.Thermal().Temperatures()...)
+	return snap
+}
+
+// NewSim builds the network for a scheme.
+func NewSim(cfg config.Config, scheme Scheme) (*Sim, error) {
+	ctrl, kind, hasECC, err := buildController(scheme, cfg)
+	if err != nil {
+		return nil, err
+	}
+	net, err := network.New(cfg, ctrl, kind, hasECC)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{cfg: cfg, scheme: scheme, net: net, ctrl: ctrl}, nil
+}
+
+// NewStaticSim builds a simulation whose routers are pinned to a single
+// operation mode — the static-mode ablation showing that no fixed mode
+// dominates across error levels.
+func NewStaticSim(cfg config.Config, mode network.Mode) (*Sim, error) {
+	ctrl := network.StaticController{Fixed: mode}
+	hasECC := mode.ECCOn()
+	net, err := network.New(cfg, ctrl, network.ControllerNone, hasECC)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{cfg: cfg, scheme: Scheme("static-" + mode.String()), net: net, ctrl: ctrl}, nil
+}
+
+// Network exposes the underlying network (examples and tests peek at it).
+func (s *Sim) Network() *network.Network { return s.net }
+
+// Controller exposes the scheme's controller.
+func (s *Sim) Controller() network.Controller { return s.ctrl }
+
+// Pretrain runs the synthetic pre-training phase: every scheme sees the
+// same traffic (so thermal state is comparable); the RL agents learn and
+// the DT controller collects its labeled samples, then trains and
+// freezes. The phase ends with a drain.
+func (s *Sim) Pretrain() error {
+	cycles := int64(s.cfg.PretrainCycles)
+	if cycles > 0 {
+		per := cycles / int64(len(pretrainSegments))
+		if per < 1 {
+			per = cycles
+		}
+		var events []traffic.Event
+		var offset int64
+		for i, seg := range pretrainSegments {
+			if offset >= cycles {
+				break
+			}
+			span := per
+			if offset+span > cycles {
+				span = cycles - offset
+			}
+			segEvents, err := traffic.Synthetic(s.net.Mesh(), seg.pattern, seg.rate,
+				s.cfg.FlitsPerPacket, span, s.cfg.Seed*31+900+int64(i))
+			if err != nil {
+				return err
+			}
+			for _, e := range segEvents {
+				e.Cycle += offset
+				events = append(events, e)
+			}
+			offset += span
+		}
+		if err := s.runTrace(events, cycles+int64(s.cfg.DrainCycles)); err != nil {
+			return err
+		}
+	}
+	if dtc, ok := s.ctrl.(*DTController); ok {
+		if err := dtc.FinishTraining(); err != nil {
+			return err
+		}
+	}
+	if rlc, ok := s.ctrl.(*RLController); ok && s.cfg.RL.FreezeAfterPretrain {
+		rlc.Freeze()
+	}
+	return nil
+}
+
+// injector replays a trace through the source-window back-pressure model:
+// a node's next event is held while the node has SourceWindow undelivered
+// packets outstanding, so a slow (error-ridden) network stretches the
+// application's execution time, exactly what Fig. 7 measures.
+type injector struct {
+	queues    [][]traffic.Event
+	remaining int
+	window    int
+	base      int64
+}
+
+func newInjector(events []traffic.Event, nodes int, window int, base int64) *injector {
+	in := &injector{queues: make([][]traffic.Event, nodes), remaining: len(events), window: window, base: base}
+	for _, e := range events {
+		in.queues[e.Src] = append(in.queues[e.Src], e)
+	}
+	return in
+}
+
+func (in *injector) step(net *network.Network, now int64) error {
+	for src := range in.queues {
+		q := in.queues[src]
+		for len(q) > 0 && in.base+q[0].Cycle <= now {
+			if in.window > 0 && net.SourceOutstanding(src) >= in.window {
+				break
+			}
+			e := q[0]
+			if _, err := net.NewDataPacket(e.Src, e.Dst, e.Flits, now); err != nil {
+				return err
+			}
+			q = q[1:]
+			in.remaining--
+		}
+		in.queues[src] = q
+	}
+	return nil
+}
+
+func (in *injector) done() bool { return in.remaining == 0 }
+
+// runTrace injects events (whose cycles are relative to the current
+// network cycle) and steps until everything drains or the relative cycle
+// cap passes. Hitting the cap is not an error — the pre-training phase is
+// warm-up, and under a reactive baseline at a hostile error corner a
+// retransmission storm may legitimately still be draining; the leftovers
+// complete during the next phase's warm-up.
+func (s *Sim) runTrace(events []traffic.Event, relCap int64) error {
+	base := s.net.Cycle()
+	capCycle := base + relCap
+	in := newInjector(events, s.cfg.Routers(), s.cfg.SourceWindow, base)
+	for s.net.Cycle() < capCycle {
+		if err := in.step(s.net, s.net.Cycle()); err != nil {
+			return err
+		}
+		if err := s.net.Step(); err != nil {
+			return err
+		}
+		if in.done() && s.net.Drained() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Measure runs the testing phase over events and collects the Result.
+// The warm-up prefix is excluded from statistics but included in the
+// execution time, mirroring the paper's methodology.
+func (s *Sim) Measure(events []traffic.Event, label string) (Result, error) {
+	net := s.net
+	base := net.Cycle()
+	warmEnd := base + int64(s.cfg.WarmupCycles)
+	var traceLen int64
+	if len(events) > 0 {
+		traceLen = events[len(events)-1].Cycle
+	}
+	capCycle := base + traceLen + int64(s.cfg.WarmupCycles) + int64(s.cfg.MaxCycles) + int64(s.cfg.DrainCycles)
+
+	var dynStart, totStart float64
+	var measureStart int64
+	started := false
+
+	in := newInjector(events, s.cfg.Routers(), s.cfg.SourceWindow, base)
+	drained := false
+	for net.Cycle() < capCycle {
+		now := net.Cycle()
+		if !started && now >= warmEnd {
+			net.Stats().SetMeasuring(true)
+			dynStart = net.Meter().TotalDynamicPJ()
+			totStart = net.Meter().TotalPJ()
+			measureStart = now
+			started = true
+			// Anneal exploration for the measured phase (every random
+			// mode costs real latency; see config.RLConfig.TestEpsilon).
+			if s.cfg.RL.TestEpsilon >= 0 {
+				switch c := s.ctrl.(type) {
+				case *RLController:
+					c.SetEpsilon(s.cfg.RL.TestEpsilon)
+				case *RLPortController:
+					c.SetEpsilon(s.cfg.RL.TestEpsilon)
+				}
+			}
+			if rlc, ok := s.ctrl.(*RLController); ok {
+				rlc.ResetTelemetry()
+			}
+		}
+		if err := in.step(net, now); err != nil {
+			return Result{}, err
+		}
+		if err := net.Step(); err != nil {
+			return Result{}, err
+		}
+		if s.observer != nil && s.observerEvery > 0 && net.Cycle()%s.observerEvery == 0 {
+			s.observer(s.snapshot())
+		}
+		if in.done() && net.Drained() {
+			drained = true
+			break
+		}
+	}
+	net.Stats().SetMeasuring(false)
+	if !started {
+		return Result{}, fmt.Errorf("core: warm-up longer than the run")
+	}
+
+	sum := net.Stats().Summarize()
+	dyn := net.Meter().TotalDynamicPJ() - dynStart
+	tot := net.Meter().TotalPJ() - totStart
+	measuredCycles := net.Cycle() - measureStart
+	measuredNS := float64(measuredCycles) * s.cfg.CyclePeriodNS()
+
+	res := Result{
+		Scheme:                s.scheme,
+		Benchmark:             label,
+		ExecutionCycles:       net.LastDeliveryCycle() - base,
+		Drained:               drained,
+		MeanLatency:           sum.MeanLatency,
+		RetransmittedPacketEq: net.Stats().RetransmittedPacketEquivalents(s.cfg.FlitsPerPacket),
+		DynamicPJ:             dyn,
+		StaticPJ:              tot - dyn,
+		TotalPJ:               tot,
+		FlitsDelivered:        sum.FlitsDelivered,
+		MeanTempC:             net.Thermal().MeanTemperature(),
+		MaxTempC:              net.Thermal().MaxTemperature(),
+		Summary:               sum,
+	}
+	if measuredNS > 0 {
+		res.DynamicPowerW = dyn / measuredNS / 1000 // pJ/ns = mW
+	}
+	if tot > 0 {
+		res.EnergyEfficiency = float64(sum.FlitsDelivered) / (tot * 1e-6) // flits per microjoule
+	}
+	switch c := s.ctrl.(type) {
+	case *RLController:
+		res.ModeDecisions, res.ModeMeanReward = c.Telemetry()
+	case *DTController:
+		res.ModeDecisions = c.decideCount
+	}
+	return res, nil
+}
+
+// RunTrace executes the full methodology (pre-train, test, measure) for
+// one scheme over one trace.
+func RunTrace(cfg config.Config, scheme Scheme, events []traffic.Event, label string) (Result, error) {
+	sim, err := NewSim(cfg, scheme)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := sim.Pretrain(); err != nil {
+		return Result{}, err
+	}
+	return sim.Measure(events, label)
+}
+
+// RunBenchmark synthesizes the named PARSEC-like benchmark's trace and
+// runs it under a scheme.
+func RunBenchmark(cfg config.Config, scheme Scheme, benchmark string) (Result, error) {
+	b, err := traffic.BenchmarkByName(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	mesh, err := meshOf(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	events, err := b.Trace(mesh, int64(cfg.MaxCycles), cfg.FlitsPerPacket, cfg.Seed*31+1300)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunTrace(cfg, scheme, events, benchmark)
+}

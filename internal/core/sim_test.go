@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"rlnoc/internal/config"
+	"rlnoc/internal/traffic"
+)
+
+// quickConfig is a fast 4x4 setup for end-to-end scheme runs.
+func quickConfig() config.Config {
+	cfg := config.Small()
+	cfg.PretrainCycles = 6000
+	cfg.WarmupCycles = 1000
+	cfg.MaxCycles = 8000
+	cfg.DrainCycles = 20000
+	cfg.Fault.BaseErrorRate = 0.005
+	return cfg
+}
+
+func quickTrace(t *testing.T, cfg config.Config) []traffic.Event {
+	t.Helper()
+	mesh, err := meshOf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := traffic.Synthetic(mesh, traffic.Uniform, 0.003, cfg.FlitsPerPacket, int64(cfg.MaxCycles), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestRunTraceAllSchemes(t *testing.T) {
+	cfg := quickConfig()
+	events := quickTrace(t, cfg)
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			res, err := RunTrace(cfg, scheme, events, "unit")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Drained {
+				t.Fatal("did not drain")
+			}
+			if res.FlitsDelivered == 0 || res.MeanLatency <= 0 {
+				t.Fatalf("empty result: %+v", res)
+			}
+			if res.TotalPJ <= 0 || res.DynamicPJ <= 0 || res.StaticPJ <= 0 {
+				t.Fatalf("energy accounting dead: %+v", res)
+			}
+			if res.DynamicPowerW <= 0 || res.EnergyEfficiency <= 0 {
+				t.Fatalf("power/efficiency dead: %+v", res)
+			}
+			if res.ExecutionCycles <= 0 {
+				t.Fatal("no execution time")
+			}
+			if res.Summary.SilentCorruption != 0 {
+				t.Fatal("silent corruption")
+			}
+			if res.MeanTempC < cfg.Thermal.AmbientC {
+				t.Fatalf("temperature below ambient: %g", res.MeanTempC)
+			}
+		})
+	}
+}
+
+func TestSchemeDifferencesUnderErrors(t *testing.T) {
+	// The core claim-shape at unit-test scale: with errors present, the
+	// ARQ+ECC router must beat plain CRC on latency, and the adaptive
+	// schemes must not lose to CRC.
+	cfg := quickConfig()
+	cfg.Fault.BaseErrorRate = 0.01
+	events := quickTrace(t, cfg)
+	results := map[Scheme]Result{}
+	for _, scheme := range Schemes() {
+		res, err := RunTrace(cfg, scheme, events, "shape")
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		results[scheme] = res
+	}
+	if results[SchemeARQ].MeanLatency >= results[SchemeCRC].MeanLatency {
+		t.Errorf("ARQ latency %g >= CRC %g", results[SchemeARQ].MeanLatency, results[SchemeCRC].MeanLatency)
+	}
+	if results[SchemeRL].MeanLatency >= results[SchemeCRC].MeanLatency {
+		t.Errorf("RL latency %g >= CRC %g", results[SchemeRL].MeanLatency, results[SchemeCRC].MeanLatency)
+	}
+	if results[SchemeARQ].RetransmittedPacketEq >= results[SchemeCRC].RetransmittedPacketEq {
+		t.Errorf("ARQ retransmissions %g >= CRC %g",
+			results[SchemeARQ].RetransmittedPacketEq, results[SchemeCRC].RetransmittedPacketEq)
+	}
+}
+
+func TestDTControllerTrainsDuringPretrain(t *testing.T) {
+	cfg := quickConfig()
+	sim, err := NewSim(cfg, SchemeDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Pretrain(); err != nil {
+		t.Fatal(err)
+	}
+	dtc := sim.Controller().(*DTController)
+	if dtc.Tree() == nil {
+		t.Fatal("DT not trained after pretrain")
+	}
+	if dtc.Samples() == 0 {
+		t.Fatal("no samples collected")
+	}
+}
+
+func TestRLFreezeAfterPretrain(t *testing.T) {
+	cfg := quickConfig()
+	cfg.RL.FreezeAfterPretrain = true
+	sim, err := NewSim(cfg, SchemeRL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Pretrain(); err != nil {
+		t.Fatal(err)
+	}
+	rlc := sim.Controller().(*RLController)
+	for _, a := range rlc.Agents() {
+		if !a.Frozen() {
+			t.Fatal("agent not frozen after pretrain")
+		}
+	}
+}
+
+func TestRunBenchmarkUnknownName(t *testing.T) {
+	if _, err := RunBenchmark(quickConfig(), SchemeCRC, "quake3"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunTraceDeterministic(t *testing.T) {
+	cfg := quickConfig()
+	events := quickTrace(t, cfg)
+	a, err := RunTrace(cfg, SchemeRL, events, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrace(cfg, SchemeRL, events, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency != b.MeanLatency || a.TotalPJ != b.TotalPJ ||
+		a.Summary.ErrorsInjected != b.Summary.ErrorsInjected {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,98 @@
+package eventlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsNoOp(t *testing.T) {
+	var l *Log
+	l.Record(Event{Cycle: 1, Kind: KInject}) // must not panic
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	events := []Event{
+		{Cycle: 0, Kind: KInject, Router: 3, Packet: 1},
+		{Cycle: 5, Kind: KAccept, Router: 4, Packet: 1, Aux: 0},
+		{Cycle: 6, Kind: KLinkTx, Router: 4, Packet: 1, Aux: 1},
+		{Cycle: 7, Kind: KNACK, Router: 5, Packet: 1, Aux: 1},
+		{Cycle: 9, Kind: KRetx, Router: 4, Packet: 1, Aux: 1},
+		{Cycle: 20, Kind: KDeliver, Router: 9, Packet: 1, Aux: 20},
+	}
+	for _, e := range events {
+		l.Record(e)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 not-a-kind 2 3 4\n")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Read(strings.NewReader("nonsense\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n1 inject 0 7 0\n"
+	events, err := Read(strings.NewReader(in))
+	if err != nil || len(events) != 1 || events[0].Packet != 7 {
+		t.Fatalf("got %v, %v", events, err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Kind: KInject, Router: 0, Packet: 1},
+		{Cycle: 0, Kind: KInject, Router: 1, Packet: 2},
+		{Cycle: 3, Kind: KAccept, Router: 2, Packet: 1},
+		{Cycle: 4, Kind: KNACK, Router: 2, Packet: 1},
+		{Cycle: 5, Kind: KRetx, Router: 0, Packet: 1},
+		{Cycle: 9, Kind: KCRCFail, Router: 3, Packet: 2},
+		{Cycle: 30, Kind: KDeliver, Router: 3, Packet: 1, Aux: 30},
+	}
+	a := Analyze(events)
+	if a.Packets != 2 || a.Delivered != 1 || a.CRCFailures != 1 || a.NACKs != 1 || a.Retx != 1 {
+		t.Fatalf("analysis wrong: %+v", a)
+	}
+	if a.MeanLatency != 30 {
+		t.Fatalf("mean latency = %g, want 30", a.MeanLatency)
+	}
+	if len(a.HottestRouters) == 0 {
+		t.Fatal("no hot routers")
+	}
+	out := a.Format()
+	if !strings.Contains(out, "delivered 1") || !strings.Contains(out, "30.00") {
+		t.Fatalf("format wrong:\n%s", out)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KInject.String() != "inject" || KDeliver.String() != "deliver" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("out-of-range kind empty")
+	}
+}

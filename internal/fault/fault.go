@@ -1,0 +1,187 @@
+// Package fault implements the timing-error injection model, a VARIUS-like
+// (Sarangi et al., IEEE TSM 2008) Gaussian critical-path slack model: each
+// link stage has a population of critical paths whose delay grows with
+// temperature, supply noise (proxied by link utilization), voltage droop
+// and per-link process variation. A timing error occurs when a path's
+// delay exceeds the clock period; the probability is the Gaussian tail of
+// the slack distribution, so the error rate rises super-linearly with
+// temperature — the coupling the paper's RL controller exploits.
+//
+// The model is calibrated so that the configured BaseErrorRate holds
+// exactly at the reference temperature, configured voltage/frequency and
+// zero utilization.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rlnoc/internal/config"
+)
+
+// vNominal is the supply voltage at which the delay model is centered.
+const vNominal = 1.0
+
+// voltageExponent approximates alpha-power-law delay scaling with supply
+// voltage: delay ~ (Vnom/V)^voltageExponent.
+const voltageExponent = 1.3
+
+// maxErrorProbability caps the per-flit error probability; beyond this the
+// link is effectively unusable and the cap keeps retransmission storms
+// finite.
+const maxErrorProbability = 0.75
+
+// Model computes per-link, per-flit timing-error probabilities.
+// It is calibrated once at construction and is safe for concurrent reads.
+type Model struct {
+	mu0        float64 // critical-path mean delay at calibration, in clock periods
+	sigma      float64 // path delay std dev, in clock periods
+	kT         float64 // fractional delay per degree C
+	kU         float64 // fractional delay at utilization 1.0
+	tRef       float64
+	nCrit      int
+	relaxScale float64
+	doubleFrac float64
+	linkFactor []float64 // per-link process-variation delay factor
+}
+
+// New builds a calibrated model for numLinks links. The per-link process
+// variation factors are drawn deterministically from seed.
+func New(cfg config.FaultConfig, voltageV float64, numLinks int, seed int64) (*Model, error) {
+	if numLinks < 0 {
+		return nil, fmt.Errorf("fault: negative link count %d", numLinks)
+	}
+	vScale := math.Pow(vNominal/voltageV, voltageExponent)
+	mu0 := (1 - cfg.NominalSlack) * vScale
+	if mu0 >= 1 {
+		return nil, fmt.Errorf("fault: no timing slack at V=%gV (mean path delay %.3f cycles)", voltageV, mu0)
+	}
+	// Calibrate sigma so that the link error probability at the reference
+	// point equals BaseErrorRate: with nCrit independent paths,
+	// pLink = 1-(1-pPath)^nCrit, and pPath = Q(slack/sigma).
+	pLink := cfg.BaseErrorRate
+	if pLink <= 0 {
+		pLink = 1e-12 // keep the model well-defined; probabilities stay ~0
+	}
+	pPath := 1 - math.Pow(1-pLink, 1/float64(cfg.CriticalPaths))
+	z0 := normalQuantile(1 - pPath)
+	if z0 <= 0 {
+		return nil, fmt.Errorf("fault: base error rate %g too large to calibrate", cfg.BaseErrorRate)
+	}
+	m := &Model{
+		mu0:        mu0,
+		sigma:      (1 - mu0) / z0,
+		kT:         cfg.TempSensitivity,
+		kU:         cfg.UtilSensitivity,
+		tRef:       cfg.TRefC,
+		nCrit:      cfg.CriticalPaths,
+		relaxScale: cfg.RelaxedScale,
+		doubleFrac: cfg.DoubleBitFraction,
+		linkFactor: make([]float64, numLinks),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.linkFactor {
+		m.linkFactor[i] = 1 + rng.NormFloat64()*cfg.ProcessSigma
+		if m.linkFactor[i] < 0.5 {
+			m.linkFactor[i] = 0.5
+		}
+	}
+	return m, nil
+}
+
+// ErrorProbability returns the per-flit probability of a timing error on a
+// link traversal given the link's tile temperature (Celsius) and recent
+// utilization (flits/cycle in [0,1]). relaxed applies the Mode 3 timing
+// relaxation, which scales the probability by the configured RelaxedScale.
+func (m *Model) ErrorProbability(link int, tempC, utilization float64, relaxed bool) float64 {
+	mu := m.mu0 * (1 + m.kT*(tempC-m.tRef)) * (1 + m.kU*utilization)
+	if link >= 0 && link < len(m.linkFactor) {
+		mu *= m.linkFactor[link]
+	}
+	slack := 1 - mu
+	var pPath float64
+	if slack <= 0 {
+		pPath = 1
+	} else {
+		pPath = 1 - normalCDF(slack/m.sigma)
+	}
+	p := 1 - math.Pow(1-pPath, float64(m.nCrit))
+	if relaxed {
+		p *= m.relaxScale
+	}
+	if p > maxErrorProbability {
+		p = maxErrorProbability
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// maxFlipBits caps the bits flipped by one error event.
+const maxFlipBits = 6
+
+// SampleErrorBits draws the number of bit flips for one flit traversal
+// with error probability p. The flip count escalates with severity: a
+// timing path that barely misses the clock edge flips one late bit, but
+// the deeper into the timing wall the link operates (higher p), the more
+// simultaneous paths fail. Geometrically, each additional bit flips with
+// probability DoubleBitFraction + 1.5p (capped) — at low p this
+// reproduces the classic single/double-bit mix, at high p it produces the
+// multi-bit bursts that defeat SECDED (sometimes silently, via
+// miscorrection), which is exactly the regime the paper's Mode 3 exists
+// for ("the retransmitted flits will still contain faults").
+func (m *Model) SampleErrorBits(rng *rand.Rand, p float64) int {
+	if rng.Float64() >= p {
+		return 0
+	}
+	escalate := m.doubleFrac + 1.5*p
+	if escalate > 0.7 {
+		escalate = 0.7
+	}
+	bits := 1
+	for bits < maxFlipBits && rng.Float64() < escalate {
+		bits++
+	}
+	return bits
+}
+
+// FlipBits flips n distinct uniformly random bits across the payload words.
+func FlipBits(rng *rand.Rand, words []uint64, n int) {
+	total := 64 * len(words)
+	if total == 0 || n <= 0 {
+		return
+	}
+	if n > total {
+		n = total
+	}
+	flipped := make(map[int]bool, n)
+	for len(flipped) < n {
+		bit := rng.Intn(total)
+		if flipped[bit] {
+			continue
+		}
+		flipped[bit] = true
+		words[bit/64] ^= 1 << uint(bit%64)
+	}
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// normalQuantile inverts normalCDF by bisection; p must be in (0,1).
+func normalQuantile(p float64) float64 {
+	lo, hi := -12.0, 12.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if normalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

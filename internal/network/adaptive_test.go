@@ -1,0 +1,174 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"rlnoc/internal/config"
+	"rlnoc/internal/flit"
+	"rlnoc/internal/topology"
+	"rlnoc/internal/traffic"
+)
+
+func westFirstNet(t *testing.T, errRate float64, mode Mode, hasECC bool) *Network {
+	t.Helper()
+	cfg := testConfig(errRate)
+	cfg.Routing = config.RoutingWestFirst
+	n, err := New(cfg, StaticController{Fixed: mode}, ControllerNone, hasECC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestWestFirstDeliversEverything(t *testing.T) {
+	n := westFirstNet(t, 0, Mode0, false)
+	n.Stats().SetMeasuring(true)
+	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.006, 4, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runTrace(t, n, events, 100_000) {
+		t.Fatalf("west-first did not drain: %d in flight", n.DataInFlight())
+	}
+	s := n.Stats().Summarize()
+	if s.PacketsDelivered != int64(len(events)) {
+		t.Fatalf("delivered %d of %d", s.PacketsDelivered, len(events))
+	}
+}
+
+func TestWestFirstSurvivesErrorsAndARQ(t *testing.T) {
+	n := westFirstNet(t, 0.01, Mode1, true)
+	n.Stats().SetMeasuring(true)
+	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.004, 4, 4000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runTrace(t, n, events, 300_000) {
+		t.Fatal("did not drain")
+	}
+	s := n.Stats().Summarize()
+	if s.PacketsDelivered != int64(len(events)) {
+		t.Fatalf("delivered %d of %d", s.PacketsDelivered, len(events))
+	}
+	if s.SilentCorruption != 0 {
+		t.Fatal("silent corruption")
+	}
+}
+
+// TestWestFirstHeavyAdversarialLoad hammers the adaptive network with the
+// worst patterns at high load; the turn model must stay deadlock-free.
+func TestWestFirstHeavyAdversarialLoad(t *testing.T) {
+	for _, p := range []traffic.Pattern{traffic.Transpose, traffic.Hotspot, traffic.Tornado} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			n := westFirstNet(t, 0, Mode0, false)
+			events, err := traffic.Synthetic(n.Mesh(), p, 0.02, 4, 5000, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !runTrace(t, n, events, 400_000) {
+				t.Fatalf("%s did not drain under west-first", p)
+			}
+		})
+	}
+}
+
+// pathProbe records delivered packets' paths via the controller hook at
+// epoch boundaries... simpler: inspect packets directly after delivery by
+// keeping references.
+func TestWestFirstPathsAreValidAndMinimal(t *testing.T) {
+	n := westFirstNet(t, 0, Mode0, false)
+	mesh := n.Mesh()
+	var pkts []*packetRef
+	for i := 0; i < 40; i++ {
+		src := (i * 7) % mesh.Nodes()
+		dst := (i*13 + 5) % mesh.Nodes()
+		if src == dst {
+			continue
+		}
+		p, err := n.NewDataPacket(src, dst, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, &packetRef{p: p})
+	}
+	for !n.Drained() && n.Cycle() < 50_000 {
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !n.Drained() {
+		t.Fatal("did not drain")
+	}
+	for _, ref := range pkts {
+		path := ref.p.Path
+		if len(path) == 0 {
+			t.Fatal("empty recorded path")
+		}
+		if path[0] != ref.p.Src || path[len(path)-1] != ref.p.Dst {
+			t.Fatalf("path endpoints wrong: %v for %d->%d", path, ref.p.Src, ref.p.Dst)
+		}
+		// Minimal: west-first candidates are always productive.
+		if len(path)-1 != mesh.Hops(ref.p.Src, ref.p.Dst) {
+			t.Fatalf("non-minimal path %v for %d->%d", path, ref.p.Src, ref.p.Dst)
+		}
+		// Contiguous, and never turning into West after a non-West hop.
+		movedNonWest := false
+		for i := 1; i < len(path); i++ {
+			a, b := mesh.Coord(path[i-1]), mesh.Coord(path[i])
+			manh := abs(a.X-b.X) + abs(a.Y-b.Y)
+			if manh != 1 {
+				t.Fatalf("discontiguous path %v", path)
+			}
+			west := b.X < a.X
+			if west && movedNonWest {
+				t.Fatalf("turn into West in path %v (deadlock-prone)", path)
+			}
+			if !west {
+				movedNonWest = true
+			}
+		}
+	}
+}
+
+type packetRef struct{ p *flit.Packet }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestAdaptiveSpreadsLoad checks that west-first uses multiple distinct
+// paths between a congested pair region (XY would always take one).
+func TestAdaptiveSpreadsLoad(t *testing.T) {
+	n := westFirstNet(t, 0, Mode0, false)
+	mesh := n.Mesh()
+	src := mesh.ID(topology.Coord{X: 0, Y: 0})
+	dst := mesh.ID(topology.Coord{X: 3, Y: 3})
+	var pkts []*packetRef
+	for i := 0; i < 30; i++ {
+		p, err := n.NewDataPacket(src, dst, 4, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, &packetRef{p: p})
+	}
+	for !n.Drained() && n.Cycle() < 50_000 {
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !n.Drained() {
+		t.Fatal("did not drain")
+	}
+	paths := map[string]bool{}
+	for _, ref := range pkts {
+		paths[fmt.Sprint(ref.p.Path)] = true
+	}
+	if len(paths) < 2 {
+		t.Fatalf("adaptive routing used only %d distinct path(s) under contention", len(paths))
+	}
+}

@@ -1,0 +1,75 @@
+// Package network implements the cycle-accurate NoC simulator. This file
+// documents the microarchitecture and the simulation loop; see mode.go
+// for the operation-mode/controller contract and DESIGN.md for how the
+// pieces map to the paper.
+//
+// # Router microarchitecture
+//
+// Each router has five ports (North, South, East, West, Local) with
+// VCsPerPort virtual-channel FIFOs per input port. The pipeline follows
+// the classic 4-stage organization:
+//
+//	RC -> VA -> SA -> ST (+ link traversal)
+//
+// modeled as: a flit entering an input buffer becomes eligible for switch
+// allocation pipelineFill (=2) cycles later (covering route computation
+// and VC allocation for heads, pipeline fill for bodies); switch
+// allocation and traversal take one cycle; the link takes one more, plus
+// the operation mode's extra stages (ECC codec, Mode 3 relaxation). The
+// closed form is validated cycle-for-cycle in internal/analytic.
+//
+// Flow control is credit-based: one credit per downstream buffer slot,
+// consumed at a flit's first transmission and returned when the flit
+// leaves the downstream buffer. Retransmissions and Mode 2 duplicates
+// ride the original reservation, so the credit invariant (credits +
+// occupied + in-flight = depth) holds under every recovery path; the
+// simulator panics on any violation.
+//
+// Virtual channels are split into two classes — data and control (the
+// end-to-end retransmission requests) — so reply traffic can never be
+// blocked behind the data traffic that caused it. Within a class, a
+// downstream VC is allocated to one packet at a time and freed when the
+// tail drains.
+//
+// # Link-level ARQ
+//
+// When a channel's ECC-link is enabled, the upstream port keeps a clean
+// copy of every transmitted flit in its output buffer, stamped with a
+// per-link sequence number. The downstream decoder accepts flits in
+// sequence order; SECDED-uncorrectable flits trigger a NACK on dedicated
+// ack wires and a go-back-N rollback (the NACKed flit and everything
+// younger is re-sent in order; out-of-window arrivals are dropped
+// silently). ACKs are cumulative. Mode 2 sends a duplicate one cycle
+// behind each flit with the same sequence number, absorbing most
+// uncorrectable events without the NACK round trip.
+//
+// Operation-mode switches requested by a controller are deferred until
+// the channel's ARQ state is clean (no unacked flits, no pending
+// rollback); switching mid-stream would let an unprotected flit bypass
+// the sequence screen and be lost. During the deferral the port stops
+// issuing new flits, so the switch lands within a few cycles.
+//
+// # Error injection and recovery layers
+//
+// Fault injection flips real payload bits on link traversals; the number
+// of flipped bits escalates with the link's error probability. Recovery
+// is layered exactly like the hardware would be:
+//
+//  1. SECDED corrects single-bit errors at the receiving port.
+//  2. Detected-uncorrectable errors trigger the link-level ARQ.
+//  3. Multi-bit bursts can miscorrect silently; the destination NI's
+//     per-flit CRC catches them and requests an end-to-end
+//     retransmission from the source's replay buffer.
+//  4. On ECC-bypassed (Mode 0) links of adaptive schemes, a CRC snooper
+//     at the receiving port raises advisory NACKs — no retransmission,
+//     but error visibility for the controller's features and reward.
+//
+// # Cycle loop
+//
+// Network.Step advances one cycle in fixed phases: (1) link arrivals,
+// ack/credit wires, VC releases; (2) NI injection; (3) RC + VA; (4) SA +
+// transmission (retransmissions first); (5) periodic thermal solve and
+// controller epoch. Determinism: all randomness flows from seeded
+// generators, and iteration orders are fixed, so identical configurations
+// produce identical runs.
+package network

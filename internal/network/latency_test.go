@@ -1,0 +1,96 @@
+package network
+
+import (
+	"testing"
+
+	"rlnoc/internal/topology"
+)
+
+// measureZeroLoad delivers one packet over a given distance on an
+// error-free mesh and returns its end-to-end latency.
+func measureZeroLoad(t *testing.T, mode Mode, hasECC bool, src, dst, flits int) int64 {
+	t.Helper()
+	cfg := testConfig(0)
+	cfg.Width, cfg.Height = 8, 8
+	n, err := New(cfg, StaticController{Fixed: mode}, ControllerNone, hasECC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Stats().SetMeasuring(true)
+	if _, err := n.NewDataPacket(src, dst, flits, 0); err != nil {
+		t.Fatal(err)
+	}
+	for !n.Drained() && n.Cycle() < 5000 {
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !n.Drained() {
+		t.Fatal("packet never delivered")
+	}
+	return int64(n.Stats().MeanLatency())
+}
+
+// TestZeroLoadLatencyScalesLinearly checks the golden property of the
+// 4-stage pipeline: zero-load latency grows linearly with hop count, with
+// a per-hop cost matching the pipeline depth (RC/VA fill + SA + LT) and a
+// serialization tail of flits-1 cycles.
+func TestZeroLoadLatencyScalesLinearly(t *testing.T) {
+	mesh, err := topology.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Travel east along the bottom row: 1..7 hops.
+	lat := make(map[int]int64)
+	for hops := 1; hops <= 7; hops++ {
+		lat[hops] = measureZeroLoad(t, Mode0, false, 0, hops, 4)
+	}
+	// Linear: constant increment per hop.
+	inc := lat[2] - lat[1]
+	if inc < 3 || inc > 5 {
+		t.Fatalf("per-hop increment %d, want 3-5 (4-stage pipeline + link)", inc)
+	}
+	for hops := 3; hops <= 7; hops++ {
+		if got := lat[hops] - lat[hops-1]; got != inc {
+			t.Fatalf("nonlinear zero-load latency: hop %d increment %d, want %d", hops, got, inc)
+		}
+	}
+	// Serialization: each extra flit adds exactly one cycle at zero load.
+	l1 := measureZeroLoad(t, Mode0, false, 0, 3, 1)
+	l4 := measureZeroLoad(t, Mode0, false, 0, 3, 4)
+	if l4-l1 != 3 {
+		t.Fatalf("serialization cost = %d cycles for 3 extra flits, want 3", l4-l1)
+	}
+	_ = mesh
+}
+
+// TestZeroLoadModeLatencyOrdering checks each mode's added per-hop cost:
+// ECC adds one cycle per hop; Mode 3 adds three (ECC + two relaxation
+// cycles); Mode 2's duplicate does not delay the original flit beyond the
+// ECC stage at zero load, but halves bandwidth, costing serialization.
+func TestZeroLoadModeLatencyOrdering(t *testing.T) {
+	const src, dst, flits = 0, 5, 4 // 5 hops along the row
+	l0 := measureZeroLoad(t, Mode0, true, src, dst, flits)
+	l1 := measureZeroLoad(t, Mode1, true, src, dst, flits)
+	l2 := measureZeroLoad(t, Mode2, true, src, dst, flits)
+	l3 := measureZeroLoad(t, Mode3, true, src, dst, flits)
+	if !(l0 < l1 && l1 <= l2 && l2 < l3) {
+		t.Fatalf("zero-load mode latencies out of order: %d %d %d %d", l0, l1, l2, l3)
+	}
+	// ECC stage: exactly one extra cycle per hop (5 hops + ejection hop
+	// has no ECC), so l1-l0 = hops.
+	if l1-l0 != 5 {
+		t.Fatalf("ECC latency adder = %d, want 5 (one per link)", l1-l0)
+	}
+	// Mode 3 vs Mode 1: two extra relaxation cycles per link for the head
+	// (2x5) plus the slower serialization of the remaining flits — link
+	// occupancy 3 instead of 1 costs (flits-1)x2 on the last link's tail.
+	if want := int64(2*5 + (flits-1)*2); l3-l1 != want {
+		t.Fatalf("relaxation adder = %d, want %d", l3-l1, want)
+	}
+	// Mode 2 vs Mode 1: head unchanged; occupancy 2 costs (flits-1)x1 of
+	// serialization.
+	if want := int64(flits - 1); l2-l1 != want {
+		t.Fatalf("pre-retransmission adder = %d, want %d", l2-l1, want)
+	}
+}

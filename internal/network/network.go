@@ -1,0 +1,1043 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rlnoc/internal/coding"
+	"rlnoc/internal/config"
+	"rlnoc/internal/eventlog"
+	"rlnoc/internal/fault"
+	"rlnoc/internal/flit"
+	"rlnoc/internal/power"
+	"rlnoc/internal/rl"
+	"rlnoc/internal/stats"
+	"rlnoc/internal/thermal"
+	"rlnoc/internal/topology"
+)
+
+// statsCollector aliases the stats type for the Measuref closures.
+type statsCollector = stats.Collector
+
+// pipelineFill is the number of cycles between a flit entering an input
+// buffer and becoming eligible for switch allocation (the RC and VA
+// stages of the 4-stage pipeline; SA and ST follow, giving the 4-stage
+// zero-load hop of Table II).
+const pipelineFill = 2
+
+// watchdogCycles is how long the network may go without any flit movement
+// while traffic is outstanding before Step reports a deadlock.
+const watchdogCycles = 100_000
+
+// coreActivityFullLoad is the per-node injection rate (flits/cycle) that
+// maps to 100% processing-core activity in the tile power model.
+const coreActivityFullLoad = 0.1
+
+// Network is the assembled mesh: routers, NIs, fault/thermal/power models
+// and the per-epoch control loop.
+type Network struct {
+	cfg   config.Config
+	mesh  *topology.Mesh
+	route topology.RouteFunc
+
+	routers []*Router
+	nis     []*NI
+
+	faults *fault.Model
+	grid   *thermal.Grid
+	meter  *power.Meter
+	stats  *stats.Collector
+	disc   rl.Discretizer
+	rng    *rand.Rand
+
+	controller Controller
+	ctrlKind   ControllerKind
+	hasECC     bool
+	adaptive   bool // west-first congestion-aware routing
+	modes      []Mode
+
+	cycle   int64
+	dataVCs int
+
+	packetSeq    uint64
+	dataInFlight int
+	ctrlInFlight int
+
+	coreFlits    []float64 // flits injected per node this thermal window
+	inputUsed    [topology.NumPorts]bool
+	lastProgress int64
+	lastDelivery int64
+
+	// elog records flit/packet events when non-nil (nocsim -eventlog).
+	elog *eventlog.Log
+
+	epochEnergyPJ []float64 // per-router energy snapshot at epoch start
+	epochLatSum   float64
+	epochLatCount int64
+	meanLatEWMA   float64
+}
+
+// neutralLatency is the per-hop latency fed to a controller for an epoch
+// in which no packet finished through the router (roughly the zero-load
+// per-hop cost). A constant keeps idle-epoch rewards driven purely by the
+// router's own power draw; any history-based fallback would let long calm
+// or stormy stretches reward whatever action happens to be active,
+// decoupling credit from causation.
+const neutralLatency = 6
+
+// New assembles a network. controller decides per-router modes each epoch;
+// kind selects the per-flit controller energy overhead; hasECC states
+// whether the scheme's routers contain ECC hardware at all (false for the
+// plain CRC baseline, which also forces Mode 0 leakage accounting).
+func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC bool) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if controller == nil {
+		return nil, fmt.Errorf("network: nil controller")
+	}
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	route := topology.RouteXY
+	adaptive := false
+	switch cfg.Routing {
+	case config.RoutingYX:
+		route = topology.RouteYX
+	case config.RoutingWestFirst:
+		adaptive = true
+	}
+	n := mesh.Nodes()
+	faults, err := fault.New(cfg.Fault, cfg.VoltageV, n*4, cfg.Seed*31+1)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := thermal.NewGrid(mesh, cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	net := &Network{
+		cfg:           cfg,
+		mesh:          mesh,
+		route:         route,
+		routers:       make([]*Router, n),
+		nis:           make([]*NI, n),
+		faults:        faults,
+		grid:          grid,
+		meter:         power.NewMeter(power.DefaultParams().Scaled(cfg.VoltageV), n),
+		stats:         stats.New(n),
+		disc:          rl.DefaultDiscretizer(),
+		rng:           rand.New(rand.NewSource(cfg.Seed*31 + 2)),
+		controller:    controller,
+		adaptive:      adaptive,
+		ctrlKind:      kind,
+		hasECC:        hasECC,
+		modes:         make([]Mode, n),
+		dataVCs:       cfg.VCsPerPort / 2,
+		coreFlits:     make([]float64, n),
+		epochEnergyPJ: make([]float64, n),
+		meanLatEWMA:   50,
+	}
+	if net.dataVCs < 1 {
+		net.dataVCs = 1
+	}
+	for id := 0; id < n; id++ {
+		net.routers[id] = newRouter(id, cfg.VCsPerPort, cfg.VCDepth)
+		net.nis[id] = newNI(id, cfg.VCsPerPort, net, cfg.Seed*31+100+int64(id))
+	}
+	// Wire output ports.
+	for id := 0; id < n; id++ {
+		r := net.routers[id]
+		for dir := topology.Direction(0); dir < topology.NumPorts; dir++ {
+			p := &outputPort{dir: dir, downstream: -1, resendIdx: -1}
+			if dir != topology.Local {
+				if nb, ok := mesh.Neighbor(id, dir); ok {
+					p.downstream = nb
+					p.inPort = dir.Opposite()
+					p.credits = make([]int, cfg.VCsPerPort)
+					for v := range p.credits {
+						p.credits[v] = cfg.VCDepth
+					}
+					p.vcBusy = make([]bool, cfg.VCsPerPort)
+					p.vcPendingFree = make([]bool, cfg.VCsPerPort)
+				}
+			} else {
+				p.downstream = id // ejection to own NI
+			}
+			r.outputs[dir] = p
+		}
+	}
+	// Initial modes: ask the controller once at cycle 0. Static schemes
+	// get their fixed mode immediately; learning controllers start from
+	// their policy's answer to the idle state, which for a zero-initialized
+	// Q-table is Mode 0 — the paper's initialization.
+	idle := Observation{Features: rl.Features{TemperatureC: cfg.Thermal.InitialC}}
+	for id := 0; id < n; id++ {
+		net.applyMode(id, controller.Decide(id, idle))
+	}
+	net.refreshErrorProbabilities()
+	return net, nil
+}
+
+// Stats exposes the collector.
+func (n *Network) Stats() *stats.Collector { return n.stats }
+
+// Meter exposes the energy meter.
+func (n *Network) Meter() *power.Meter { return n.meter }
+
+// Thermal exposes the thermal grid.
+func (n *Network) Thermal() *thermal.Grid { return n.grid }
+
+// Mesh exposes the topology.
+func (n *Network) Mesh() *topology.Mesh { return n.mesh }
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Modes returns the live per-router mode slice (read-only by convention).
+func (n *Network) Modes() []Mode { return n.modes }
+
+// DataInFlight returns outstanding data packets.
+func (n *Network) DataInFlight() int { return n.dataInFlight }
+
+// Drained reports whether no traffic is outstanding anywhere.
+func (n *Network) Drained() bool {
+	if n.dataInFlight > 0 || n.ctrlInFlight > 0 {
+		return false
+	}
+	return true
+}
+
+// LastDeliveryCycle returns the cycle of the most recent data delivery.
+func (n *Network) LastDeliveryCycle() int64 { return n.lastDelivery }
+
+// SourceOutstanding returns how many data packets created at src are not
+// yet delivered (queued, in flight, or awaiting retransmission). The
+// simulation driver uses it to model cores stalling on outstanding
+// transactions.
+func (n *Network) SourceOutstanding(src int) int { return len(n.nis[src].replay) }
+
+// vcRange returns the VC index range [lo,hi) for a traffic class.
+func (n *Network) vcRange(control bool) (int, int) {
+	if control {
+		return n.dataVCs, n.cfg.VCsPerPort
+	}
+	return 0, n.dataVCs
+}
+
+// NewDataPacket creates, registers and enqueues a data packet at src.
+func (n *Network) NewDataPacket(src, dst, flits int, createdAt int64) (*flit.Packet, error) {
+	if src == dst {
+		return nil, fmt.Errorf("network: self-send at node %d", src)
+	}
+	if src < 0 || src >= n.mesh.Nodes() || dst < 0 || dst >= n.mesh.Nodes() {
+		return nil, fmt.Errorf("network: endpoints (%d,%d) outside mesh", src, dst)
+	}
+	if flits < 1 {
+		return nil, fmt.Errorf("network: packet needs at least 1 flit")
+	}
+	p := n.buildPacket(flit.Data, src, dst, flits, createdAt, 0)
+	ni := n.nis[src]
+	ni.replay[p.ID] = p
+	ni.EnqueueData(p)
+	n.dataInFlight++
+	n.coreFlits[src] += float64(flits)
+	n.stats.Measuref(func(c *statsCollector) { c.PacketsInjected++ })
+	n.elog.Record(eventlog.Event{Cycle: createdAt, Kind: eventlog.KInject, Router: src, Packet: p.ID})
+	return p, nil
+}
+
+func (n *Network) buildPacket(kind flit.Kind, src, dst, nflits int, createdAt int64, ref uint64) *flit.Packet {
+	n.packetSeq++
+	p := &flit.Packet{
+		ID:              n.packetSeq,
+		Kind:            kind,
+		Src:             src,
+		Dst:             dst,
+		RefID:           ref,
+		CreatedAt:       createdAt,
+		FirstInjectedAt: -1,
+		Payload:         make([]uint64, nflits*flit.WordsPerFlit),
+		CRCs:            make([]uint16, nflits),
+	}
+	p.SetNumFlits(nflits)
+	rng := n.nis[src].rng
+	for i := range p.Payload {
+		p.Payload[i] = rng.Uint64()
+	}
+	for i := 0; i < nflits; i++ {
+		p.CRCs[i] = coding.CRC16Words(p.Payload[i*flit.WordsPerFlit : (i+1)*flit.WordsPerFlit])
+	}
+	return p
+}
+
+// sendE2ENack creates the end-to-end retransmission request from the
+// failing destination back to the packet's source.
+func (n *Network) sendE2ENack(from int, pkt *flit.Packet, cycle int64) {
+	ctrl := n.buildPacket(flit.NackE2E, from, pkt.Src, 1, cycle, pkt.ID)
+	n.nis[from].enqueueCtrl(ctrl)
+	n.ctrlInFlight++
+	n.stats.Measuref(func(c *statsCollector) { c.ControlInjected++ })
+}
+
+// deliverData finalizes a successfully received data packet.
+func (n *Network) deliverData(pkt *flit.Packet, cycle int64) {
+	latency := cycle - pkt.CreatedAt
+	netLatency := cycle - pkt.FirstInjectedAt
+	n.stats.PacketDelivered(latency, netLatency, pkt.NumFlits())
+	// Attribute the per-hop latency to every router on the packet's
+	// recorded path — the paper's per-router reward input, normalized by
+	// path length.
+	hops := len(pkt.Path) - 1
+	if hops < 1 {
+		hops = n.mesh.Hops(pkt.Src, pkt.Dst)
+	}
+	perHop := float64(latency) / float64(hops+1)
+	for _, id := range pkt.Path {
+		n.stats.RouterPacketLatency(id, perHop)
+	}
+	n.epochLatSum += float64(latency)
+	n.epochLatCount++
+	// The receiving core also works on arriving data (memory-controller
+	// and consumer tiles heat up with traffic, not just producers).
+	n.coreFlits[pkt.Dst] += float64(pkt.NumFlits())
+	delete(n.nis[pkt.Src].replay, pkt.ID)
+	n.dataInFlight--
+	n.lastDelivery = cycle
+	n.lastProgress = cycle
+	n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KDeliver, Router: pkt.Dst,
+		Packet: pkt.ID, Aux: latency})
+}
+
+// applyMode sets a router's operation mode on all its link output ports.
+func (n *Network) applyMode(id int, m Mode) {
+	if !n.hasECC {
+		m = Mode0 // CRC-baseline routers have no ECC hardware to enable
+	}
+	n.modes[id] = m
+	r := n.routers[id]
+	for dir := topology.North; dir < topology.NumPorts; dir++ {
+		if p := r.outputs[dir]; p.hasDownstream() {
+			p.targetMode = m
+			p.trySwitchMode()
+		}
+	}
+}
+
+// applyPortModes sets per-channel operation modes (PortController path).
+// The router-level mode report becomes the strongest mode among its
+// channels.
+func (n *Network) applyPortModes(id int, pm [4]Mode) {
+	r := n.routers[id]
+	report := Mode0
+	for dir := topology.North; dir < topology.NumPorts; dir++ {
+		p := r.outputs[dir]
+		if !p.hasDownstream() {
+			continue
+		}
+		m := pm[dir-topology.North]
+		if !n.hasECC {
+			m = Mode0
+		}
+		if m >= NumModes {
+			m = Mode0
+		}
+		p.targetMode = m
+		p.trySwitchMode()
+		if m > report {
+			report = m
+		}
+	}
+	n.modes[id] = report
+}
+
+// eccFraction returns the share of router id's ECC codecs currently
+// powered (per-port gating).
+func (n *Network) eccFraction(id int) float64 {
+	if !n.hasECC {
+		return 0
+	}
+	on, total := 0, 0
+	r := n.routers[id]
+	for dir := topology.North; dir < topology.NumPorts; dir++ {
+		p := r.outputs[dir]
+		if !p.hasDownstream() {
+			continue
+		}
+		total++
+		if p.mode.ECCOn() {
+			on++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(on) / float64(total)
+}
+
+// refreshErrorProbabilities recomputes the cached per-flit error
+// probability of every link from current temperature, utilization and
+// mode.
+func (n *Network) refreshErrorProbabilities() {
+	period := float64(n.cfg.Thermal.UpdatePeriod)
+	for id, r := range n.routers {
+		temp := n.grid.Temperature(id)
+		for dir := topology.North; dir < topology.NumPorts; dir++ {
+			p := r.outputs[dir]
+			if !p.hasDownstream() {
+				continue
+			}
+			util := float64(p.winSent) / period
+			if util > 1 {
+				util = 1
+			}
+			linkID := id*4 + int(dir-topology.North)
+			p.errProb = n.faults.ErrorProbability(linkID, temp, util, p.mode == Mode3)
+		}
+	}
+}
+
+// Step advances the network one cycle. It returns an error only on a
+// detected deadlock (no movement for watchdogCycles while traffic is
+// outstanding), which indicates a simulator bug, never expected behavior.
+func (n *Network) Step() error {
+	n.cycle++
+	cycle := n.cycle
+
+	// 1. Arrivals, ACK/NACK wires and credit returns.
+	for _, r := range n.routers {
+		for dir := topology.Direction(0); dir < topology.NumPorts; dir++ {
+			p := r.outputs[dir]
+			if len(p.inflight) > 0 {
+				n.processArrivals(r, p)
+			}
+			if len(p.acks) > 0 {
+				n.processAcks(r, p)
+			}
+			if len(p.credRet) > 0 {
+				n.processCredits(p)
+			}
+			n.releaseVCs(p)
+		}
+	}
+
+	// 2. NI injection.
+	for _, ni := range n.nis {
+		ni.inject(cycle)
+	}
+
+	// 3. Route computation and VC allocation.
+	for _, r := range n.routers {
+		n.routeAndAllocate(r)
+	}
+
+	// 4. Switch allocation, switch traversal and link transmission
+	// (including pending go-back-N retransmissions, which have priority).
+	for _, r := range n.routers {
+		n.switchAllocate(r)
+	}
+
+	// 5. Periodic work: thermal solve and control epoch.
+	if cycle%int64(n.cfg.Thermal.UpdatePeriod) == 0 {
+		n.thermalStep()
+	}
+	if cycle%int64(n.cfg.RL.StepCycles) == 0 {
+		n.controlEpoch()
+	}
+
+	// 6. Watchdog.
+	if !n.Drained() && cycle-n.lastProgress > watchdogCycles {
+		return fmt.Errorf("network: deadlock suspected at cycle %d (%d data, %d ctrl in flight)",
+			cycle, n.dataInFlight, n.ctrlInFlight)
+	}
+	return nil
+}
+
+// processArrivals handles flits whose link traversal completes this cycle.
+func (n *Network) processArrivals(r *Router, p *outputPort) {
+	keep := p.inflight[:0]
+	for _, wf := range p.inflight {
+		if wf.arrive > n.cycle {
+			keep = append(keep, wf)
+			continue
+		}
+		if p.dir == topology.Local {
+			n.nis[r.id].receive(wf.f, n.cycle)
+			n.lastProgress = n.cycle
+			continue
+		}
+		n.receiveOnLink(r, p, wf)
+	}
+	p.inflight = keep
+}
+
+// receiveOnLink runs the downstream decoder and ARQ acceptance logic.
+func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
+	down := n.routers[p.downstream]
+	cycle := n.cycle
+
+	// Sequence screening (the downstream decoder's go-back-N window).
+	if wf.seq != p.expectSeq {
+		// Duplicates (already accepted) and younger flits racing a
+		// retransmission are dropped silently; go-back-N resends the
+		// younger ones in order.
+		return
+	}
+
+	accept := true
+	if !wf.eccValid && n.ctrlKind != ControllerNone && wf.f.Packet.Kind == flit.Data {
+		// Adaptive-scheme routers snoop the per-flit CRC on ECC-bypassed
+		// links (detection only — recovery still happens end-to-end).
+		// A mismatch raises an advisory NACK on the existing ack wires:
+		// it feeds the upstream router's NACK-rate feature and the
+		// reliability term of its reward, restoring the error visibility
+		// that disabling the ECC decoders would otherwise destroy.
+		n.meter.CRCCheck(down.id)
+		if !wf.f.Tainted && coding.CRC16Words(wf.f.Payload[:]) != wf.f.CRC {
+			// First detection: blame the link that actually corrupted it;
+			// the taint bit stops later hops from re-blaming innocents.
+			wf.f.Tainted = true
+			n.stats.RouterResidualCorrupt(up.id)
+			n.stats.RouterNACKIn(up.id)
+			n.stats.RouterNACKOut(down.id)
+			p.winResidualEpoch++
+		}
+	}
+	if wf.eccValid {
+		n.meter.ECCDecode(down.id)
+		if wf.f.Packet.Kind == flit.Data {
+			corrected := false
+			for w := 0; w < flit.WordsPerFlit; w++ {
+				word, res := coding.DecodeSECDED(wf.f.Payload[w], wf.f.ECCCheck[w])
+				switch res {
+				case coding.DecodeCorrected:
+					wf.f.Payload[w] = word
+					corrected = true
+				case coding.DecodeDetected:
+					accept = false
+				}
+			}
+			if corrected && accept {
+				n.stats.Measuref(func(c *statsCollector) { c.ECCCorrections++ })
+			}
+		}
+	}
+
+	if !accept {
+		n.stats.Measuref(func(c *statsCollector) { c.ECCDetections++ })
+		if wf.dupFollows {
+			// Mode 2: the pre-retransmitted copy (same sequence number)
+			// arrives next cycle; defer the NACK decision to it.
+			return
+		}
+		// NACK: request retransmission of this flit (and implicitly all
+		// younger ones, go-back-N).
+		p.acks = append(p.acks, wireAck{seq: wf.seq, nack: true, deliver: cycle + 1})
+		n.stats.Measuref(func(c *statsCollector) { c.LinkNACKs++ })
+		n.stats.RouterNACKOut(down.id)
+		n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KNACK, Router: down.id,
+			Packet: wf.f.Packet.ID, Aux: int64(wf.f.Seq)})
+		return
+	}
+
+	// Accepted.
+	p.expectSeq = wf.seq + 1
+	wf.f.ECCValid = false
+	p.acks = append(p.acks, wireAck{seq: wf.seq, nack: false, deliver: cycle + 1})
+	vcBuf := down.inputs[p.inPort][wf.f.VC]
+	if vcBuf.full() {
+		panic(fmt.Sprintf("network: credit protocol violated: router %d port %v vc %d overflow",
+			down.id, p.inPort, wf.f.VC))
+	}
+	vcBuf.push(wf.f, cycle+pipelineFill)
+	n.meter.BufferWrite(down.id)
+	n.stats.RouterFlitIn(down.id)
+	down.winFlitsIn++
+	n.lastProgress = cycle
+	n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KAccept, Router: down.id,
+		Packet: wf.f.Packet.ID, Aux: int64(wf.f.Seq)})
+}
+
+// processAcks consumes ACK/NACK wire messages at the upstream port.
+func (n *Network) processAcks(r *Router, p *outputPort) {
+	keep := p.acks[:0]
+	for _, a := range p.acks {
+		if a.deliver > n.cycle {
+			keep = append(keep, a)
+			continue
+		}
+		if a.nack {
+			n.stats.RouterNACKIn(r.id)
+			p.winNackEpoch++
+			// Roll back to the NACKed entry.
+			for i, e := range p.unacked {
+				if e.seq == a.seq {
+					if p.resendIdx == -1 || i < p.resendIdx {
+						p.resendIdx = i
+					}
+					break
+				}
+			}
+			continue
+		}
+		// Cumulative ACK: drop acknowledged entries from the front.
+		popped := 0
+		for len(p.unacked) > 0 && p.unacked[0].seq <= a.seq {
+			p.unacked = p.unacked[1:]
+			popped++
+		}
+		if p.resendIdx >= 0 {
+			p.resendIdx -= popped
+			if p.resendIdx < 0 {
+				p.resendIdx = -1
+			}
+		}
+	}
+	p.acks = keep
+}
+
+// processCredits applies returned credits.
+func (n *Network) processCredits(p *outputPort) {
+	keep := p.credRet[:0]
+	for _, c := range p.credRet {
+		if c.deliver > n.cycle {
+			keep = append(keep, c)
+			continue
+		}
+		p.credits[c.vc]++
+		if p.credits[c.vc] > n.cfg.VCDepth {
+			panic(fmt.Sprintf("network: credit overflow on vc %d", c.vc))
+		}
+	}
+	p.credRet = keep
+}
+
+// releaseVCs frees downstream VCs whose packet has fully drained.
+func (n *Network) releaseVCs(p *outputPort) {
+	if p.vcPendingFree == nil {
+		return
+	}
+	for vc := range p.vcPendingFree {
+		if p.vcPendingFree[vc] && p.credits[vc] == n.cfg.VCDepth && len(p.unacked) == 0 {
+			p.vcPendingFree[vc] = false
+			p.vcBusy[vc] = false
+		}
+	}
+}
+
+// routeAndAllocate performs the RC and VA stages for head flits at the
+// front of their VCs.
+func (n *Network) routeAndAllocate(r *Router) {
+	// RC: compute output port for unrouted heads.
+	for port := topology.Direction(0); port < topology.NumPorts; port++ {
+		for _, vc := range r.inputs[port] {
+			front := vc.front()
+			if front == nil || vc.routed || !front.f.Type.IsHead() {
+				continue
+			}
+			pkt := front.f.Packet
+			if n.adaptive {
+				vc.outPort = n.routeAdaptive(r, pkt)
+			} else {
+				vc.outPort = n.route(n.mesh, r.id, pkt.Dst)
+			}
+			vc.routed = true
+			// Record the head's path for latency attribution (exact even
+			// under adaptive routing).
+			if k := len(pkt.Path); k == 0 || pkt.Path[k-1] != r.id {
+				pkt.Path = append(pkt.Path, r.id)
+			}
+			if vc.outPort == topology.Local {
+				vc.outVC = 0 // ejection needs no VC arbitration
+			}
+		}
+	}
+	// VA: one grant per output port per cycle, round-robin.
+	vcs := len(r.inputs[0])
+	for out := topology.North; out < topology.NumPorts; out++ {
+		op := r.outputs[out]
+		if !op.hasDownstream() {
+			continue
+		}
+		total := int(topology.NumPorts) * vcs
+		start := r.vaRR[out]
+		for k := 0; k < total; k++ {
+			idx := (start + k) % total
+			port := topology.Direction(idx / vcs)
+			vc := r.inputs[port][idx%vcs]
+			front := vc.front()
+			if front == nil || !vc.routed || vc.outVC != -1 || vc.outPort != out {
+				continue
+			}
+			lo, hi := n.vcRange(front.f.Packet.Kind != flit.Data)
+			grant := op.freeVC(lo, hi)
+			if grant < 0 {
+				continue
+			}
+			vc.outVC = grant
+			op.vcBusy[grant] = true
+			n.meter.Arbitration(r.id)
+			r.vaRR[out] = idx + 1
+			break
+		}
+	}
+}
+
+// routeAdaptive picks among the west-first candidate directions by
+// congestion: most free credits in the packet's VC class wins, with a
+// bonus for an idle link; ties break deterministically.
+func (n *Network) routeAdaptive(r *Router, pkt *flit.Packet) topology.Direction {
+	cands := topology.WestFirstCandidates(n.mesh, r.id, pkt.Dst)
+	if len(cands) == 0 {
+		return topology.Local
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	lo, hi := n.vcRange(pkt.Kind != flit.Data)
+	best, bestScore := cands[0], -1
+	for _, d := range cands {
+		op := r.outputs[d]
+		if !op.hasDownstream() {
+			continue
+		}
+		score := 0
+		for v := lo; v < hi && v < len(op.credits); v++ {
+			score += op.credits[v]
+			if !op.vcBusy[v] {
+				score += 2 // a whole free VC beats residual credits
+			}
+		}
+		if op.linkBusyUntil <= n.cycle {
+			score += 2
+		}
+		if score > bestScore {
+			best, bestScore = d, score
+		}
+	}
+	return best
+}
+
+// switchAllocate performs SA and ST: it first services pending go-back-N
+// retransmissions, then grants at most one flit per output port and one
+// per input port.
+func (n *Network) switchAllocate(r *Router) {
+	for i := range n.inputUsed {
+		n.inputUsed[i] = false
+	}
+	vcs := len(r.inputs[0])
+	for out := topology.Direction(0); out < topology.NumPorts; out++ {
+		op := r.outputs[out]
+		if op.dir != topology.Local && !op.hasDownstream() {
+			continue
+		}
+		if op.linkBusyUntil > n.cycle {
+			continue
+		}
+		// Retransmissions first: they own the channel until done.
+		if op.resendIdx >= 0 {
+			n.retransmit(r, op)
+			continue
+		}
+		// A pending mode switch pauses new grants until the ARQ state
+		// drains (a few cycles), then takes effect.
+		if op.dir != topology.Local && op.switchPending() {
+			op.trySwitchMode()
+			if op.switchPending() {
+				continue
+			}
+		}
+		total := int(topology.NumPorts) * vcs
+		start := r.saRR[out]
+		for k := 0; k < total; k++ {
+			idx := (start + k) % total
+			port := topology.Direction(idx / vcs)
+			if n.inputUsed[port] {
+				continue
+			}
+			vc := r.inputs[port][idx%vcs]
+			front := vc.front()
+			if front == nil || !vc.routed || vc.outVC < 0 || vc.outPort != out || front.ready > n.cycle {
+				continue
+			}
+			if out != topology.Local && op.credits[vc.outVC] <= 0 {
+				continue
+			}
+			n.inputUsed[port] = true
+			r.saRR[out] = idx + 1
+			n.grantAndSend(r, port, vc, op)
+			break
+		}
+	}
+}
+
+// grantAndSend pops the winning flit, traverses the switch and transmits
+// it on the output channel.
+func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC, op *outputPort) {
+	f := vc.pop()
+	outVC := vc.outVC
+	n.meter.BufferRead(r.id)
+	n.meter.Arbitration(r.id)
+	n.meter.Crossbar(r.id)
+	switch n.ctrlKind {
+	case ControllerRL:
+		n.meter.RLCompute(r.id)
+	case ControllerDT:
+		n.meter.DTCompute(r.id)
+	}
+	n.lastProgress = n.cycle
+
+	// Return the freed buffer slot upstream.
+	if inPort != topology.Local {
+		if up, ok := n.mesh.Neighbor(r.id, inPort); ok {
+			upPort := n.routers[up].outputs[inPort.Opposite()]
+			upPort.credRet = append(upPort.credRet, wireCredit{vc: f.VC, deliver: n.cycle + 1})
+		}
+	} else if f.Type.IsTail() {
+		n.nis[r.id].releaseLocalVC(f.VC)
+	}
+
+	if f.Type.IsTail() {
+		// The packet has left this VC; clear route state.
+		if op.dir != topology.Local && op.vcBusy != nil {
+			op.vcPendingFree[outVC] = true
+		}
+		vc.routed = false
+		vc.outVC = -1
+	}
+
+	if op.dir == topology.Local {
+		// Ejection: one cycle to the NI, no faults, no ARQ.
+		op.inflight = append(op.inflight, wireFlit{f: f, arrive: n.cycle + 1})
+		op.linkBusyUntil = n.cycle + 1
+		return
+	}
+
+	f.VC = outVC
+	n.transmit(r, op, f)
+}
+
+// transmit sends a flit on a link under the port's current mode, applying
+// ECC encoding, fault injection, ARQ bookkeeping and Mode 2 duplication.
+func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
+	mode := op.mode
+	seq := op.nextSeq
+	op.nextSeq++
+	op.credits[f.VC]--
+	if op.credits[f.VC] < 0 {
+		panic("network: credit underflow")
+	}
+
+	eccOn := mode.ECCOn()
+	if eccOn {
+		for w := 0; w < flit.WordsPerFlit; w++ {
+			f.ECCCheck[w] = coding.EncodeSECDED(f.Payload[w])
+		}
+		f.ECCValid = true
+		n.meter.ECCEncode(r.id)
+		// Hold a clean copy for ARQ.
+		op.unacked = append(op.unacked, txEntry{f: f.Clone(), seq: seq, dupFollows: mode == Mode2})
+		n.meter.OutputBuffer(r.id)
+	}
+
+	arrive := n.cycle + 1 + mode.ExtraLatency()
+	op.linkBusyUntil = n.cycle + mode.LinkOccupancy()
+
+	wire := f
+	if eccOn {
+		wire = f.Clone() // the unacked entry keeps the pristine flit
+	}
+	n.corrupt(r, op, wire)
+	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: seq, eccValid: eccOn, dupFollows: mode == Mode2})
+	n.meter.Link(r.id)
+	n.stats.RouterFlitOut(r.id)
+	op.winSent++
+	op.winSentEpoch++
+	n.elog.Record(eventlog.Event{Cycle: n.cycle, Kind: eventlog.KLinkTx, Router: r.id,
+		Packet: f.Packet.ID, Aux: int64(f.Seq)})
+
+	if mode == Mode2 {
+		dup := op.unacked[len(op.unacked)-1].f.Clone()
+		n.corrupt(r, op, dup)
+		n.pushWire(op, wireFlit{f: dup, arrive: arrive + 1, seq: seq, eccValid: true, isDup: true})
+		n.meter.Link(r.id)
+		n.stats.Measuref(func(c *statsCollector) { c.PreRetransmissions++ })
+	}
+}
+
+// retransmit re-sends the oldest NACKed entry on the channel.
+func (n *Network) retransmit(r *Router, op *outputPort) {
+	if op.resendIdx >= len(op.unacked) {
+		op.resendIdx = -1
+		return
+	}
+	e := op.unacked[op.resendIdx]
+	op.resendIdx++
+	if op.resendIdx >= len(op.unacked) {
+		op.resendIdx = -1
+	}
+	wire := e.f.Clone()
+	n.corrupt(r, op, wire)
+	// Retransmissions go out singly (no Mode 2 duplicate) with the ECC
+	// stage enabled — only ECC-protected flits can be NACKed.
+	arrive := n.cycle + 2 // link + ECC stage
+	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: e.seq, eccValid: true, isRetx: true})
+	op.linkBusyUntil = n.cycle + 1
+	n.meter.Link(r.id)
+	n.stats.Measuref(func(c *statsCollector) { c.LinkRetransmissions++ })
+	n.lastProgress = n.cycle
+	n.elog.Record(eventlog.Event{Cycle: n.cycle, Kind: eventlog.KRetx, Router: r.id,
+		Packet: e.f.Packet.ID, Aux: int64(e.f.Seq)})
+}
+
+// pushWire appends an in-flight flit, enforcing monotone arrival order so
+// mode switches can never reorder a link.
+func (n *Network) pushWire(op *outputPort, wf wireFlit) {
+	if k := len(op.inflight); k > 0 && wf.arrive <= op.inflight[k-1].arrive {
+		wf.arrive = op.inflight[k-1].arrive + 1
+	}
+	op.inflight = append(op.inflight, wf)
+}
+
+// corrupt samples the link's timing-error process and flips payload bits.
+// Control packets ride error-hardened signaling and are never corrupted
+// (the paper's ACK wires are likewise assumed error-free).
+func (n *Network) corrupt(r *Router, op *outputPort, f *flit.Flit) {
+	if f.Packet.Kind != flit.Data {
+		return
+	}
+	bits := n.faults.SampleErrorBits(n.rng, op.errProb)
+	if bits == 0 {
+		return
+	}
+	fault.FlipBits(n.rng, f.Payload[:], bits)
+	n.stats.Measuref(func(c *statsCollector) { c.ErrorsInjected++ })
+	r.winErrEvents++
+}
+
+// thermalStep feeds the window's power into the RC grid, charges leakage
+// and refreshes the cached link error probabilities.
+func (n *Network) thermalStep() {
+	period := int64(n.cfg.Thermal.UpdatePeriod)
+	periodNS := float64(period) * n.cfg.CyclePeriodNS()
+	powers := make([]float64, len(n.routers))
+	for id := range n.routers {
+		n.meter.AddStaticCyclesAt(id, period, n.eccFraction(id), n.cfg.CyclePeriodNS(),
+			n.grid.Temperature(id))
+		activity := n.coreFlits[id] / (float64(period) * coreActivityFullLoad)
+		powers[id] = n.meter.TilePowerW(id, period, n.cfg.CyclePeriodNS(), activity)
+		n.coreFlits[id] = 0
+	}
+	if err := n.grid.Step(powers, periodNS*1e-9); err != nil {
+		panic(err) // sizes are internally consistent; a failure is a bug
+	}
+	n.meter.WindowReset()
+	n.refreshErrorProbabilities()
+	for _, r := range n.routers {
+		for dir := topology.North; dir < topology.NumPorts; dir++ {
+			r.outputs[dir].winSent = 0
+		}
+	}
+}
+
+// controlEpoch gathers per-router observations, asks the controller for
+// new modes and resets the observation windows.
+func (n *Network) controlEpoch() {
+	epoch := float64(n.cfg.RL.StepCycles)
+	epochNS := epoch * n.cfg.CyclePeriodNS()
+	if n.epochLatCount > 0 {
+		n.meanLatEWMA = 0.7*n.meanLatEWMA + 0.3*(n.epochLatSum/float64(n.epochLatCount))
+	}
+	// First pass: per-router latency and power, plus the network-wide
+	// mean raw reward used for normalization.
+	lats := make([]float64, len(n.routers))
+	powers := make([]float64, len(n.routers))
+	ctrlPowers := make([]float64, len(n.routers))
+	leakBaseW := n.meter.Params().RouterLeakageMW / 1000
+	var rawSum float64
+	for id := range n.routers {
+		energyNow := n.meter.DynamicPJ(id) + n.meter.StaticPJ(id)
+		powers[id] = (energyNow - n.epochEnergyPJ[id]) / epochNS / 1000
+		n.epochEnergyPJ[id] = energyNow
+		ctrlPowers[id] = powers[id] - leakBaseW
+		if ctrlPowers[id] < 0 {
+			ctrlPowers[id] = 0
+		}
+		lats[id] = n.stats.WindowLatency(id, neutralLatency)
+		lat, pw := lats[id], ctrlPowers[id]
+		if lat < 1 {
+			lat = 1
+		}
+		if pw < 1e-4 {
+			pw = 1e-4
+		}
+		rawSum += 1 / (lat * pw)
+	}
+	netMean := rawSum / float64(len(n.routers))
+
+	for id, r := range n.routers {
+		flitsOut := n.stats.WindowFlitsOut(id)
+		errRate := 0.0
+		if flitsOut > 0 {
+			errRate = float64(r.winErrEvents) / float64(flitsOut)
+		}
+		powerW := powers[id]
+		winLat := lats[id]
+		var ports [4]PortObservation
+		for dir := topology.North; dir < topology.NumPorts; dir++ {
+			p := r.outputs[dir]
+			if !p.hasDownstream() {
+				continue
+			}
+			po := PortObservation{Connected: true, Util: float64(p.winSentEpoch) / epoch}
+			if p.winSentEpoch > 0 {
+				po.NACKRate = float64(p.winNackEpoch) / float64(p.winSentEpoch)
+				po.ResidualRate = float64(p.winResidualEpoch) / float64(p.winSentEpoch)
+			}
+			ports[dir-topology.North] = po
+		}
+		obs := Observation{
+			Ports: ports,
+			Features: rl.Features{
+				BufferUtilization: float64(r.occupiedVCs()) / float64(r.totalVCs()),
+				InputLinkUtil:     float64(n.stats.WindowFlitsIn(id)) / (epoch * 4),
+				OutputLinkUtil:    float64(flitsOut) / (epoch * 4),
+				InputNACKRate:     n.stats.WindowNACKRateIn(id),
+				OutputNACKRate:    n.stats.WindowNACKRateOut(id),
+				TemperatureC:      n.grid.Temperature(id),
+			},
+			WindowLatency:     winLat,
+			WindowPowerW:      powerW,
+			ControlPowerW:     ctrlPowers[id],
+			NetMeanReward:     netMean,
+			MeasuredErrorRate: errRate,
+			ResidualErrorRate: n.stats.WindowResidualRate(id),
+			Cycle:             n.cycle,
+		}
+		if pc, ok := n.controller.(PortController); ok {
+			n.applyPortModes(id, pc.DecidePorts(id, obs))
+		} else {
+			n.applyMode(id, n.controller.Decide(id, obs))
+		}
+		r.winErrEvents = 0
+		r.winFlitsIn = 0
+		for dir := topology.North; dir < topology.NumPorts; dir++ {
+			p := r.outputs[dir]
+			p.winSentEpoch = 0
+			p.winNackEpoch = 0
+			p.winResidualEpoch = 0
+		}
+	}
+	n.stats.WindowReset()
+	n.epochLatSum = 0
+	n.epochLatCount = 0
+	n.refreshErrorProbabilities()
+}
+
+// Discretizer exposes the feature discretizer (shared with controllers).
+func (n *Network) Discretizer() rl.Discretizer { return n.disc }
+
+// SetEventLog attaches an event recorder (nil detaches). Recording costs
+// one nil check per event when detached.
+func (n *Network) SetEventLog(l *eventlog.Log) { n.elog = l }

@@ -1,0 +1,192 @@
+package network
+
+import (
+	"math/rand"
+
+	"rlnoc/internal/coding"
+	"rlnoc/internal/eventlog"
+	"rlnoc/internal/flit"
+	"rlnoc/internal/topology"
+)
+
+// NI is a network interface: it owns the injection queues, the CRC
+// encoder/decoder, the source replay buffer for end-to-end retransmission
+// and the destination reassembly buffers of one node.
+type NI struct {
+	id  int
+	net *Network
+
+	dataQueue []*flit.Packet
+	ctrlQueue []*flit.Packet
+
+	curData *txState
+	curCtrl *txState
+
+	localVCBusy []bool
+
+	replay map[uint64]*flit.Packet
+	reasm  map[uint64][]*flit.Flit
+
+	rng *rand.Rand
+}
+
+// txState tracks a packet being streamed into the local input port.
+type txState struct {
+	pkt  *flit.Packet
+	next int // next flit sequence to send
+	vc   int
+}
+
+func newNI(id int, vcs int, net *Network, seed int64) *NI {
+	return &NI{
+		id:          id,
+		net:         net,
+		localVCBusy: make([]bool, vcs),
+		replay:      make(map[uint64]*flit.Packet),
+		reasm:       make(map[uint64][]*flit.Flit),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// EnqueueData queues a freshly created data packet for injection.
+func (ni *NI) EnqueueData(p *flit.Packet) { ni.dataQueue = append(ni.dataQueue, p) }
+
+// enqueueCtrl queues a control packet.
+func (ni *NI) enqueueCtrl(p *flit.Packet) { ni.ctrlQueue = append(ni.ctrlQueue, p) }
+
+// QueueDepth returns pending data packets not yet fully injected.
+func (ni *NI) QueueDepth() int {
+	n := len(ni.dataQueue)
+	if ni.curData != nil {
+		n++
+	}
+	return n
+}
+
+// inject pushes at most one flit per cycle into the router's local input
+// port; control packets take priority (they are single-flit and unblock
+// end-to-end retransmissions).
+func (ni *NI) inject(cycle int64) {
+	if ni.injectClass(cycle, &ni.curCtrl, &ni.ctrlQueue, true) {
+		return
+	}
+	ni.injectClass(cycle, &ni.curData, &ni.dataQueue, false)
+}
+
+// injectClass advances one traffic class; reports whether a flit was sent.
+func (ni *NI) injectClass(cycle int64, cur **txState, queue *[]*flit.Packet, control bool) bool {
+	if *cur == nil {
+		if len(*queue) == 0 {
+			return false
+		}
+		lo, hi := ni.net.vcRange(control)
+		vc := ni.freeLocalVC(lo, hi)
+		if vc < 0 {
+			return false
+		}
+		pkt := (*queue)[0]
+		*queue = (*queue)[1:]
+		ni.localVCBusy[vc] = true
+		*cur = &txState{pkt: pkt, vc: vc}
+		if pkt.FirstInjectedAt < 0 {
+			pkt.FirstInjectedAt = cycle
+		}
+		pkt.InjectedAt = cycle
+		pkt.Path = pkt.Path[:0] // fresh attempt, fresh route record
+	}
+	st := *cur
+	router := ni.net.routers[ni.id]
+	vcBuf := router.inputs[topology.Local][st.vc]
+	if vcBuf.full() {
+		return false
+	}
+	f := ni.makeFlit(st.pkt, st.next)
+	f.VC = st.vc
+	vcBuf.push(f, cycle+pipelineFill)
+	ni.net.meter.BufferWrite(ni.id)
+	ni.net.meter.CRCCheck(ni.id) // source CRC encode
+	st.next++
+	if st.next >= st.pkt.NumFlits() {
+		*cur = nil
+		// The local VC frees once the packet drains; mark it for the
+		// router to release (tracked by the network when the tail wins
+		// switch allocation and the buffer empties).
+	}
+	return true
+}
+
+func (ni *NI) freeLocalVC(lo, hi int) int {
+	router := ni.net.routers[ni.id]
+	for vc := lo; vc < hi && vc < len(ni.localVCBusy); vc++ {
+		if !ni.localVCBusy[vc] && router.inputs[topology.Local][vc].empty() {
+			return vc
+		}
+	}
+	return -1
+}
+
+// releaseLocalVC is called by the network when a tail flit leaves the
+// local input VC.
+func (ni *NI) releaseLocalVC(vc int) { ni.localVCBusy[vc] = false }
+
+// makeFlit materializes flit seq of a packet from its pristine payload.
+func (ni *NI) makeFlit(p *flit.Packet, seq int) *flit.Flit {
+	f := &flit.Flit{Packet: p, Seq: seq, Type: p.TypeOf(seq)}
+	f.RestorePayload()
+	return f
+}
+
+// receive consumes a flit ejected at this node.
+func (ni *NI) receive(f *flit.Flit, cycle int64) {
+	ni.net.meter.CRCCheck(ni.id)
+	id := f.Packet.ID
+	ni.reasm[id] = append(ni.reasm[id], f)
+	if !f.Type.IsTail() {
+		return
+	}
+	flits := ni.reasm[id]
+	delete(ni.reasm, id)
+	pkt := f.Packet
+	ok := len(flits) == pkt.NumFlits()
+	if ok {
+		for _, fl := range flits {
+			if coding.CRC16Words(fl.Payload[:]) != fl.CRC {
+				ok = false
+				break
+			}
+		}
+	}
+	switch {
+	case pkt.Kind == flit.NackE2E:
+		// Control packets ride error-hardened signaling; a failed CRC
+		// here would be a simulator bug.
+		if !ok {
+			ni.net.stats.SilentCorruption++
+		}
+		ni.net.ctrlInFlight--
+		ni.net.nis[pkt.Dst].handleE2ENack(pkt.RefID, cycle)
+	case ok:
+		ni.net.deliverData(pkt, cycle)
+	default:
+		// CRC failure: request a full retransmission from the source.
+		ni.net.stats.Measuref(func(c *statsCollector) { c.CRCFailures++ })
+		ni.net.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KCRCFail,
+			Router: ni.id, Packet: pkt.ID})
+		ni.net.sendE2ENack(ni.id, pkt, cycle)
+	}
+}
+
+// handleE2ENack re-injects the packet identified by refID from the replay
+// buffer (this NI is the packet's source).
+func (ni *NI) handleE2ENack(refID uint64, cycle int64) {
+	pkt, found := ni.replay[refID]
+	if !found {
+		// Already satisfied (should not happen with one attempt in
+		// flight at a time); count it so tests notice.
+		ni.net.stats.SilentCorruption++
+		return
+	}
+	pkt.Retransmissions++
+	ni.net.stats.Measuref(func(c *statsCollector) { c.SourceRetransmissions++ })
+	ni.EnqueueData(pkt)
+}

@@ -1,0 +1,203 @@
+package network
+
+import (
+	"rlnoc/internal/flit"
+	"rlnoc/internal/topology"
+)
+
+// bufFlit is a buffered flit plus the cycle at which it has cleared the
+// RC/VA pipeline stages and may compete in switch allocation.
+type bufFlit struct {
+	f     *flit.Flit
+	ready int64
+}
+
+// inputVC is one virtual-channel FIFO on an input port. Because a
+// downstream VC is only reallocated after the previous packet fully
+// drains, a VC holds flits of at most one packet at a time.
+type inputVC struct {
+	buf []bufFlit
+	cap int
+
+	// Route state for the resident packet.
+	routed  bool
+	outPort topology.Direction
+	outVC   int // -1 until VC allocation succeeds
+}
+
+func (vc *inputVC) empty() bool { return len(vc.buf) == 0 }
+func (vc *inputVC) full() bool  { return len(vc.buf) >= vc.cap }
+
+func (vc *inputVC) push(f *flit.Flit, ready int64) {
+	vc.buf = append(vc.buf, bufFlit{f: f, ready: ready})
+}
+
+func (vc *inputVC) front() *bufFlit {
+	if len(vc.buf) == 0 {
+		return nil
+	}
+	return &vc.buf[0]
+}
+
+func (vc *inputVC) pop() *flit.Flit {
+	f := vc.buf[0].f
+	vc.buf = vc.buf[1:]
+	return f
+}
+
+// wireFlit is a flit in flight on a link.
+type wireFlit struct {
+	f        *flit.Flit
+	arrive   int64
+	seq      uint64
+	eccValid bool
+	// dupFollows marks a Mode 2 original whose pre-retransmitted copy
+	// arrives next cycle; the downstream decoder defers its NACK.
+	dupFollows bool
+	// isDup marks the pre-retransmitted copy itself.
+	isDup bool
+	// isRetx marks a link-level (go-back-N) retransmission.
+	isRetx bool
+}
+
+// wireAck is an ACK/NACK traveling upstream on the dedicated ack wires.
+type wireAck struct {
+	seq     uint64
+	nack    bool
+	deliver int64
+}
+
+// wireCredit is a credit return traveling upstream.
+type wireCredit struct {
+	vc      int
+	deliver int64
+}
+
+// txEntry is an unacknowledged transmission held in the output
+// (retransmission) buffer while ARQ awaits its ACK. The stored flit is the
+// clean pre-corruption copy.
+type txEntry struct {
+	f          *flit.Flit
+	seq        uint64
+	dupFollows bool
+}
+
+// outputPort owns one output channel: the credit state of the downstream
+// input port, the physical link, and the full ARQ machinery for the
+// channel (both the upstream retransmission buffer and the downstream
+// decoder's sequence bookkeeping, which is equivalent state since links
+// are point-to-point).
+type outputPort struct {
+	dir        topology.Direction
+	downstream int // router ID, or -1 for ejection/edge
+	inPort     topology.Direction
+
+	credits       []int
+	vcBusy        []bool
+	vcPendingFree []bool
+
+	linkBusyUntil int64
+	// mode is the operating mode; targetMode is the controller's latest
+	// request. A switch is applied only once the channel's ARQ state has
+	// drained (no unacked flits, no pending retransmission) — switching
+	// mid-stream would let an unprotected flit bypass the go-back-N
+	// sequence screen and be lost.
+	mode       Mode
+	targetMode Mode
+
+	// In-flight traffic and reverse wires.
+	inflight []wireFlit
+	acks     []wireAck
+	credRet  []wireCredit
+
+	// ARQ upstream state.
+	nextSeq   uint64
+	unacked   []txEntry
+	resendIdx int // index into unacked, -1 when no retransmission pending
+
+	// ARQ downstream (decoder) state. A failed Mode 2 original needs no
+	// extra bookkeeping: its duplicate carries the same sequence number,
+	// so expectSeq simply stays put until a good copy lands.
+	expectSeq uint64
+
+	// Cached per-flit error probability, refreshed each thermal window.
+	errProb float64
+
+	// winSent counts flits sent this *thermal* window (drives the
+	// utilization input of the fault model).
+	winSent int64
+
+	// Per-*epoch* channel counters for the PortController observations.
+	winSentEpoch     int64
+	winNackEpoch     int64
+	winResidualEpoch int64
+}
+
+func (p *outputPort) hasDownstream() bool { return p.downstream >= 0 }
+
+// switchPending reports whether a requested mode change is still waiting
+// for the channel to drain.
+func (p *outputPort) switchPending() bool { return p.targetMode != p.mode }
+
+// trySwitchMode applies a pending mode change if the ARQ state is clean.
+func (p *outputPort) trySwitchMode() {
+	if p.switchPending() && len(p.unacked) == 0 && p.resendIdx < 0 {
+		p.mode = p.targetMode
+	}
+}
+
+// freeVC returns the lowest free downstream VC in [lo, hi), or -1.
+func (p *outputPort) freeVC(lo, hi int) int {
+	for vc := lo; vc < hi && vc < len(p.vcBusy); vc++ {
+		if !p.vcBusy[vc] {
+			return vc
+		}
+	}
+	return -1
+}
+
+// Router is one mesh router: five input ports of VCs and five output
+// ports.
+type Router struct {
+	id      int
+	inputs  [topology.NumPorts][]*inputVC
+	outputs [topology.NumPorts]*outputPort
+
+	// saRR rotates switch-allocation priority across input (port, vc)
+	// pairs per output port.
+	saRR [topology.NumPorts]int
+	// vaRR rotates VC-allocation priority per output port.
+	vaRR [topology.NumPorts]int
+
+	// Window counters for controller features.
+	winFlitsIn  int64
+	winErrEvents int64
+}
+
+func newRouter(id int, vcs, vcDepth int) *Router {
+	r := &Router{id: id}
+	for port := topology.Direction(0); port < topology.NumPorts; port++ {
+		r.inputs[port] = make([]*inputVC, vcs)
+		for v := 0; v < vcs; v++ {
+			r.inputs[port][v] = &inputVC{cap: vcDepth, outVC: -1}
+		}
+	}
+	return r
+}
+
+// occupiedVCs counts input VCs currently holding flits (Table I feature 1).
+func (r *Router) occupiedVCs() int {
+	n := 0
+	for port := topology.Direction(0); port < topology.NumPorts; port++ {
+		for _, vc := range r.inputs[port] {
+			if !vc.empty() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (r *Router) totalVCs() int {
+	return int(topology.NumPorts) * len(r.inputs[0])
+}

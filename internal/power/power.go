@@ -1,0 +1,310 @@
+// Package power implements an ORION-2.0-like event-energy model for the
+// NoC routers at a 32 nm / 1.0 V / 2.0 GHz operating point, plus the
+// analytic area model used for the paper's overhead analysis. Every
+// microarchitectural event (buffer read/write, crossbar traversal,
+// arbitration, link traversal, ECC encode/decode, CRC check, controller
+// computation) deposits a fixed energy; leakage accrues per cycle and the
+// ECC codec share of it is power-gated when a router runs in Mode 0.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds per-event energies (picojoules) and leakage (milliwatts).
+type Params struct {
+	// Router datapath events, per flit.
+	BufferWritePJ float64
+	BufferReadPJ  float64
+	CrossbarPJ    float64
+	ArbitrationPJ float64
+	LinkPJ        float64
+
+	// Error-control events, per flit.
+	ECCEncodePJ float64
+	ECCDecodePJ float64
+	CRCCheckPJ  float64
+
+	// Controller overheads, per flit forwarded while the controller is
+	// active. The paper reports 0.16 pJ/flit for the RL logic (1.2% of a
+	// 13.1 pJ/flit baseline).
+	RLComputePJ float64
+	DTComputePJ float64
+
+	// Output (retransmission) buffer write, per flit, present in the
+	// proposed router and the ARQ+ECC router.
+	OutputBufferPJ float64
+
+	// Leakage (quoted at LeakageRefC).
+	RouterLeakageMW float64 // whole router, always on
+	ECCLeakageMW    float64 // ECC codecs, gated off in Mode 0
+	// LeakageTempCoeff is the exponential subthreshold-leakage growth per
+	// degree Celsius above LeakageRefC (leakage roughly doubles every
+	// ~45 C at 32 nm).
+	LeakageTempCoeff float64
+	LeakageRefC      float64
+
+	// Tile processing-core power model: idle floor plus an
+	// activity-proportional part (activity in [0,1]).
+	CoreIdleW   float64
+	CoreActiveW float64
+}
+
+// Scaled returns a copy of the parameters rescaled to a different
+// operating point: dynamic event energies scale with CV^2 (so with
+// (V/Vnom)^2), leakage power scales roughly linearly with V. The defaults
+// are calibrated at 1.0 V, so Scaled(1.0) is the identity.
+func (p Params) Scaled(voltageV float64) Params {
+	if voltageV <= 0 {
+		return p
+	}
+	dyn := voltageV * voltageV
+	leak := voltageV
+	s := p
+	s.BufferWritePJ *= dyn
+	s.BufferReadPJ *= dyn
+	s.CrossbarPJ *= dyn
+	s.ArbitrationPJ *= dyn
+	s.LinkPJ *= dyn
+	s.ECCEncodePJ *= dyn
+	s.ECCDecodePJ *= dyn
+	s.CRCCheckPJ *= dyn
+	s.RLComputePJ *= dyn
+	s.DTComputePJ *= dyn
+	s.OutputBufferPJ *= dyn
+	s.RouterLeakageMW *= leak
+	s.ECCLeakageMW *= leak
+	s.CoreIdleW *= dyn
+	s.CoreActiveW *= dyn
+	return s
+}
+
+// DefaultParams returns 32 nm-class constants at the 1.0 V / 2.0 GHz
+// operating point. The per-flit end-to-end energy on the 8x8 mesh
+// averages ~13 pJ, matching the baseline router energy the paper quotes
+// (13.1 pJ/flit) against its 0.16 pJ RL overhead.
+func DefaultParams() Params {
+	return Params{
+		BufferWritePJ:   0.62,
+		BufferReadPJ:    0.48,
+		CrossbarPJ:      0.98,
+		ArbitrationPJ:   0.12,
+		LinkPJ:          1.76,
+		ECCEncodePJ:     0.31,
+		ECCDecodePJ:     0.38,
+		CRCCheckPJ:      0.22,
+		RLComputePJ:     0.16,
+		DTComputePJ:     0.19,
+		OutputBufferPJ:  0.55,
+		RouterLeakageMW:  1.9,
+		ECCLeakageMW:     0.21,
+		LeakageTempCoeff: 0.015,
+		LeakageRefC:      55,
+		CoreIdleW:       0.35,
+		CoreActiveW:     1.6,
+	}
+}
+
+// Event identifies a dynamic-energy event class for aggregate reporting.
+type Event int
+
+// Dynamic event classes.
+const (
+	EvBufferWrite Event = iota
+	EvBufferRead
+	EvCrossbar
+	EvArbitration
+	EvLink
+	EvECCEncode
+	EvECCDecode
+	EvCRCCheck
+	EvRLCompute
+	EvDTCompute
+	EvOutputBuffer
+	numEvents
+)
+
+var eventNames = [numEvents]string{
+	"buffer-write", "buffer-read", "crossbar", "arbitration", "link",
+	"ecc-encode", "ecc-decode", "crc-check", "rl-compute", "dt-compute",
+	"output-buffer",
+}
+
+func (e Event) String() string {
+	if e < 0 || e >= numEvents {
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// Meter accumulates dynamic and static energy per router plus a resettable
+// window used for thermal coupling and RL rewards. Not safe for
+// concurrent use.
+type Meter struct {
+	p Params
+	n int
+
+	energy [numEvents]float64 // pJ per event class, network-wide
+
+	dynamicPJ []float64 // per-router cumulative dynamic energy
+	staticPJ  []float64 // per-router cumulative static energy
+
+	windowDynPJ    []float64 // per-router dynamic energy this window
+	windowStaticPJ []float64
+	counts         [numEvents]int64
+}
+
+// NewMeter builds a meter for n routers.
+func NewMeter(p Params, n int) *Meter {
+	return &Meter{
+		p:              p,
+		n:              n,
+		dynamicPJ:      make([]float64, n),
+		staticPJ:       make([]float64, n),
+		windowDynPJ:    make([]float64, n),
+		windowStaticPJ: make([]float64, n),
+	}
+}
+
+// Params returns the meter's event-energy parameters.
+func (m *Meter) Params() Params { return m.p }
+
+func (m *Meter) record(router int, ev Event, pj float64) {
+	m.energy[ev] += pj
+	m.counts[ev]++
+	m.dynamicPJ[router] += pj
+	m.windowDynPJ[router] += pj
+}
+
+// BufferWrite records an input-VC buffer write at router r.
+func (m *Meter) BufferWrite(r int) { m.record(r, EvBufferWrite, m.p.BufferWritePJ) }
+
+// BufferRead records an input-VC buffer read at router r.
+func (m *Meter) BufferRead(r int) { m.record(r, EvBufferRead, m.p.BufferReadPJ) }
+
+// Crossbar records a crossbar traversal at router r.
+func (m *Meter) Crossbar(r int) { m.record(r, EvCrossbar, m.p.CrossbarPJ) }
+
+// Arbitration records a switch/VC arbitration at router r.
+func (m *Meter) Arbitration(r int) { m.record(r, EvArbitration, m.p.ArbitrationPJ) }
+
+// Link records a link traversal leaving router r.
+func (m *Meter) Link(r int) { m.record(r, EvLink, m.p.LinkPJ) }
+
+// ECCEncode records a SECDED encode at router r's output.
+func (m *Meter) ECCEncode(r int) { m.record(r, EvECCEncode, m.p.ECCEncodePJ) }
+
+// ECCDecode records a SECDED decode at router r's input.
+func (m *Meter) ECCDecode(r int) { m.record(r, EvECCDecode, m.p.ECCDecodePJ) }
+
+// CRCCheck records a network-interface CRC check at router r.
+func (m *Meter) CRCCheck(r int) { m.record(r, EvCRCCheck, m.p.CRCCheckPJ) }
+
+// RLCompute records the per-flit RL controller overhead at router r.
+func (m *Meter) RLCompute(r int) { m.record(r, EvRLCompute, m.p.RLComputePJ) }
+
+// DTCompute records the per-flit decision-tree controller overhead.
+func (m *Meter) DTCompute(r int) { m.record(r, EvDTCompute, m.p.DTComputePJ) }
+
+// OutputBuffer records a retransmission-buffer write at router r.
+func (m *Meter) OutputBuffer(r int) { m.record(r, EvOutputBuffer, m.p.OutputBufferPJ) }
+
+// AddStaticCycles charges leakage for `cycles` cycles at router r at the
+// leakage reference temperature. eccFraction in [0,1] is the share of the
+// router's ECC codecs powered during the span (per-port power gating).
+// cyclePeriodNS is the clock period in nanoseconds.
+func (m *Meter) AddStaticCycles(r int, cycles int64, eccFraction float64, cyclePeriodNS float64) {
+	m.AddStaticCyclesAt(r, cycles, eccFraction, cyclePeriodNS, m.p.LeakageRefC)
+}
+
+// AddStaticCyclesAt charges leakage like AddStaticCycles, scaled for the
+// tile temperature: subthreshold leakage grows exponentially with
+// temperature (LeakageTempCoeff per degree), so hot tiles pay more static
+// power — a second reason, besides the error rate, to cool off.
+func (m *Meter) AddStaticCyclesAt(r int, cycles int64, eccFraction float64, cyclePeriodNS, tempC float64) {
+	if eccFraction < 0 {
+		eccFraction = 0
+	}
+	if eccFraction > 1 {
+		eccFraction = 1
+	}
+	mw := m.p.RouterLeakageMW + m.p.ECCLeakageMW*eccFraction
+	if m.p.LeakageTempCoeff > 0 {
+		mw *= math.Exp(m.p.LeakageTempCoeff * (tempC - m.p.LeakageRefC))
+	}
+	// mW * ns = pJ.
+	pj := mw * float64(cycles) * cyclePeriodNS
+	m.staticPJ[r] += pj
+	m.windowStaticPJ[r] += pj
+}
+
+// DynamicPJ returns router r's cumulative dynamic energy.
+func (m *Meter) DynamicPJ(r int) float64 { return m.dynamicPJ[r] }
+
+// StaticPJ returns router r's cumulative static energy.
+func (m *Meter) StaticPJ(r int) float64 { return m.staticPJ[r] }
+
+// TotalDynamicPJ returns network-wide dynamic energy.
+func (m *Meter) TotalDynamicPJ() float64 {
+	var sum float64
+	for _, e := range m.dynamicPJ {
+		sum += e
+	}
+	return sum
+}
+
+// TotalStaticPJ returns network-wide static energy.
+func (m *Meter) TotalStaticPJ() float64 {
+	var sum float64
+	for _, e := range m.staticPJ {
+		sum += e
+	}
+	return sum
+}
+
+// TotalPJ returns network-wide total (dynamic+static) energy.
+func (m *Meter) TotalPJ() float64 { return m.TotalDynamicPJ() + m.TotalStaticPJ() }
+
+// EventEnergyPJ returns the network-wide energy attributed to one event
+// class.
+func (m *Meter) EventEnergyPJ(ev Event) float64 { return m.energy[ev] }
+
+// EventCount returns how many events of a class occurred.
+func (m *Meter) EventCount(ev Event) int64 { return m.counts[ev] }
+
+// WindowDynamicPJ returns router r's dynamic energy since the last
+// WindowReset.
+func (m *Meter) WindowDynamicPJ(r int) float64 { return m.windowDynPJ[r] }
+
+// WindowTotalPJ returns router r's total energy since the last WindowReset.
+func (m *Meter) WindowTotalPJ(r int) float64 {
+	return m.windowDynPJ[r] + m.windowStaticPJ[r]
+}
+
+// WindowReset zeroes the per-window accumulators.
+func (m *Meter) WindowReset() {
+	for i := range m.windowDynPJ {
+		m.windowDynPJ[i] = 0
+		m.windowStaticPJ[i] = 0
+	}
+}
+
+// TilePowerW returns the power (watts) to feed the thermal model for
+// router r's tile: core idle + activity-proportional core power + the
+// router's measured window power. windowCycles is the window length;
+// coreActivity in [0,1] proxies the tile core's load.
+func (m *Meter) TilePowerW(r int, windowCycles int64, cyclePeriodNS, coreActivity float64) float64 {
+	if windowCycles <= 0 {
+		return m.p.CoreIdleW
+	}
+	windowNS := float64(windowCycles) * cyclePeriodNS
+	routerW := (m.windowDynPJ[r] + m.windowStaticPJ[r]) / windowNS / 1000 // pJ/ns = mW
+	if coreActivity < 0 {
+		coreActivity = 0
+	}
+	if coreActivity > 1 {
+		coreActivity = 1
+	}
+	return m.p.CoreIdleW + m.p.CoreActiveW*coreActivity + routerW
+}

@@ -1,0 +1,110 @@
+package rl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rlnoc/internal/config"
+)
+
+func doubleQConfig() config.RLConfig {
+	cfg := config.Default().RL
+	cfg.DoubleQ = true
+	return cfg
+}
+
+func TestDoubleQConvergesToBestAction(t *testing.T) {
+	a := NewAgent(doubleQConfig(), 1)
+	s := State{}
+	prev := -1
+	for i := 0; i < 4000; i++ {
+		r := 0.0
+		if prev == 2 {
+			r = 1.0
+		} else if prev >= 0 {
+			r = 0.1
+		}
+		prev = a.Step(s, r)
+	}
+	if got := a.Greedy(s); got != 2 {
+		t.Fatalf("double-Q greedy = %d, want 2 (Q=%v)", got,
+			[]float64{a.Q(s, 0), a.Q(s, 1), a.Q(s, 2), a.Q(s, 3)})
+	}
+}
+
+// TestDoubleQReducesOverestimation reproduces the textbook setting: all
+// actions have zero-mean noisy rewards; plain Q-learning's max operator
+// drives values above zero, Double Q stays near the truth.
+func TestDoubleQReducesOverestimation(t *testing.T) {
+	plainCfg := config.Default().RL
+	plainCfg.AlphaDecay = false
+	plainCfg.Alpha = 0.2
+	plainCfg.Gamma = 0.9
+	doubleCfg := plainCfg
+	doubleCfg.DoubleQ = true
+
+	run := func(cfg config.RLConfig) float64 {
+		a := NewAgent(cfg, 7)
+		noise := rand.New(rand.NewSource(99))
+		s := State{}
+		for i := 0; i < 20000; i++ {
+			a.Step(s, noise.NormFloat64()) // zero-mean rewards
+		}
+		best := a.Q(s, a.Greedy(s))
+		return best
+	}
+	plain := run(plainCfg)
+	double := run(doubleCfg)
+	if plain <= 0 {
+		t.Skipf("plain Q did not overestimate on this seed (%g); nothing to compare", plain)
+	}
+	if double >= plain {
+		t.Fatalf("double-Q estimate %g not below plain %g", double, plain)
+	}
+}
+
+func TestDoubleQSharedAcrossAgents(t *testing.T) {
+	agents := NewSharedAgents(doubleQConfig(), 3, 5)
+	s := State{Temp: 1}
+	for i := 0; i < 100; i++ {
+		agents[0].Step(s, 1.0)
+	}
+	// Table contents must be visible to the other agents.
+	if agents[2].Q(s, agents[0].Greedy(s)) == 0 {
+		t.Fatal("double-Q tables not shared")
+	}
+}
+
+func TestDoubleQLoadSyncsBothTables(t *testing.T) {
+	src := NewAgent(doubleQConfig(), 1)
+	for i := 0; i < 50; i++ {
+		src.Step(State{Temp: 3}, 2.0)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewAgent(doubleQConfig(), 2)
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Both estimators must agree right after a load (Q is their mean).
+	s := State{Temp: 3}
+	for act := 0; act < NumActions; act++ {
+		if dst.q[s.Index()*NumActions+act] != dst.q2[s.Index()*NumActions+act] {
+			t.Fatal("estimators diverge after Load")
+		}
+	}
+}
+
+func TestDoubleQDisabledHasNilSecondTable(t *testing.T) {
+	a := NewAgent(config.Default().RL, 1)
+	if a.q2 != nil {
+		t.Fatal("q2 allocated without DoubleQ")
+	}
+	b := NewAgent(doubleQConfig(), 1)
+	if b.q2 == nil {
+		t.Fatal("q2 missing with DoubleQ")
+	}
+}

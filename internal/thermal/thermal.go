@@ -1,0 +1,150 @@
+// Package thermal implements a HotSpot-like compact thermal model: each
+// router tile is an RC node with a vertical thermal resistance to ambient
+// (package/heat-sink path) and lateral resistances to the four adjacent
+// tiles (silicon spreading). Tile power — processing core plus router —
+// drives temperature, which in turn drives the timing-error model,
+// closing the power→heat→error feedback loop of the paper.
+//
+// The thermal capacitance default is deliberately accelerated (time
+// constant of tens of microseconds instead of milliseconds) so the
+// feedback loop is exercised within simulation windows of a few hundred
+// thousand cycles; DESIGN.md documents this substitution.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"rlnoc/internal/config"
+	"rlnoc/internal/topology"
+)
+
+// Grid is the tile thermal model. It is not safe for concurrent use.
+type Grid struct {
+	mesh *topology.Mesh
+	cfg  config.ThermalConfig
+	temp []float64
+	// scratch holds per-step temperature deltas.
+	scratch []float64
+}
+
+// NewGrid builds a thermal grid over the mesh with every tile at the
+// configured initial temperature.
+func NewGrid(mesh *topology.Mesh, cfg config.ThermalConfig) (*Grid, error) {
+	if mesh == nil {
+		return nil, fmt.Errorf("thermal: nil mesh")
+	}
+	n := mesh.Nodes()
+	g := &Grid{
+		mesh:    mesh,
+		cfg:     cfg,
+		temp:    make([]float64, n),
+		scratch: make([]float64, n),
+	}
+	for i := range g.temp {
+		g.temp[i] = cfg.InitialC
+	}
+	return g, nil
+}
+
+// Temperature returns tile i's temperature in Celsius.
+func (g *Grid) Temperature(i int) float64 { return g.temp[i] }
+
+// Temperatures returns the live temperature slice (read-only by convention).
+func (g *Grid) Temperatures() []float64 { return g.temp }
+
+// MaxTemperature returns the hottest tile's temperature.
+func (g *Grid) MaxTemperature() float64 {
+	max := math.Inf(-1)
+	for _, t := range g.temp {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// MeanTemperature returns the average tile temperature.
+func (g *Grid) MeanTemperature() float64 {
+	var sum float64
+	for _, t := range g.temp {
+		sum += t
+	}
+	return sum / float64(len(g.temp))
+}
+
+// Step advances the grid by dtSeconds with the given per-tile power draw
+// in watts. Forward Euler with automatic sub-stepping for stability.
+func (g *Grid) Step(powerW []float64, dtSeconds float64) error {
+	if len(powerW) != len(g.temp) {
+		return fmt.Errorf("thermal: power vector length %d, want %d", len(powerW), len(g.temp))
+	}
+	if dtSeconds <= 0 {
+		return fmt.Errorf("thermal: non-positive dt %g", dtSeconds)
+	}
+	// Stability: forward Euler needs dt < C / Gmax where Gmax is the
+	// largest total conductance at a node (vertical + 4 lateral).
+	gMax := 1/g.cfg.RThetaJA + 4/g.cfg.RThetaLateral
+	dtStable := 0.25 * g.cfg.CThermal / gMax
+	steps := int(math.Ceil(dtSeconds / dtStable))
+	if steps < 1 {
+		steps = 1
+	}
+	h := dtSeconds / float64(steps)
+	for s := 0; s < steps; s++ {
+		g.substep(powerW, h)
+	}
+	return nil
+}
+
+func (g *Grid) substep(powerW []float64, h float64) {
+	for i := range g.temp {
+		flow := powerW[i] - (g.temp[i]-g.cfg.AmbientC)/g.cfg.RThetaJA
+		for _, d := range []topology.Direction{topology.North, topology.South, topology.East, topology.West} {
+			if j, ok := g.mesh.Neighbor(i, d); ok {
+				flow -= (g.temp[i] - g.temp[j]) / g.cfg.RThetaLateral
+			}
+		}
+		g.scratch[i] = h * flow / g.cfg.CThermal
+	}
+	for i := range g.temp {
+		g.temp[i] += g.scratch[i]
+	}
+}
+
+// SteadyState returns the equilibrium temperatures for a constant power
+// vector, solved iteratively (Gauss-Seidel). Useful for calibration and
+// tests; the simulator itself uses Step.
+func (g *Grid) SteadyState(powerW []float64) ([]float64, error) {
+	if len(powerW) != len(g.temp) {
+		return nil, fmt.Errorf("thermal: power vector length %d, want %d", len(powerW), len(g.temp))
+	}
+	t := make([]float64, len(g.temp))
+	for i := range t {
+		t[i] = g.cfg.AmbientC
+	}
+	gv := 1 / g.cfg.RThetaJA
+	gl := 1 / g.cfg.RThetaLateral
+	for iter := 0; iter < 10000; iter++ {
+		var maxDelta float64
+		for i := range t {
+			num := powerW[i] + gv*g.cfg.AmbientC
+			den := gv
+			for _, d := range []topology.Direction{topology.North, topology.South, topology.East, topology.West} {
+				if j, ok := g.mesh.Neighbor(i, d); ok {
+					num += gl * t[j]
+					den += gl
+				}
+			}
+			next := num / den
+			if d := math.Abs(next - t[i]); d > maxDelta {
+				maxDelta = d
+			}
+			t[i] = next
+		}
+		if maxDelta < 1e-9 {
+			return t, nil
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,214 @@
+// Package topology models the 2D-mesh interconnect fabric: node
+// coordinates, port directions, neighbor relations and dimension-ordered
+// routing (X-Y and Y-X), matching the paper's 8x8 2D mesh with X-Y routing.
+package topology
+
+import "fmt"
+
+// Direction identifies one of a router's five ports.
+type Direction int
+
+// The five router ports. Local connects the router to its processing core
+// via the network interface.
+const (
+	Local Direction = iota
+	North           // +Y
+	South           // -Y
+	East            // +X
+	West            // -X
+	NumPorts
+)
+
+var dirNames = [NumPorts]string{"local", "north", "south", "east", "west"}
+
+// String returns a lowercase port name.
+func (d Direction) String() string {
+	if d < 0 || d >= NumPorts {
+		return fmt.Sprintf("direction(%d)", int(d))
+	}
+	return dirNames[d]
+}
+
+// Opposite returns the port on the neighboring router that faces d.
+// Opposite(Local) is Local.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return Local
+	}
+}
+
+// Coord is a mesh coordinate; X grows East, Y grows North.
+type Coord struct {
+	X, Y int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Mesh is a Width x Height 2D mesh of routers. Router IDs are assigned
+// row-major: id = y*Width + x.
+type Mesh struct {
+	Width, Height int
+}
+
+// NewMesh returns a mesh topology. Width and height must be >= 1.
+func NewMesh(width, height int) (*Mesh, error) {
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("topology: invalid mesh %dx%d", width, height)
+	}
+	return &Mesh{Width: width, Height: height}, nil
+}
+
+// Nodes returns the number of routers.
+func (m *Mesh) Nodes() int { return m.Width * m.Height }
+
+// Coord converts a router ID to its coordinate. It panics if the ID is out
+// of range, which always indicates a simulator bug.
+func (m *Mesh) Coord(id int) Coord {
+	if id < 0 || id >= m.Nodes() {
+		panic(fmt.Sprintf("topology: router id %d out of range [0,%d)", id, m.Nodes()))
+	}
+	return Coord{X: id % m.Width, Y: id / m.Width}
+}
+
+// ID converts a coordinate to a router ID. It panics on out-of-range
+// coordinates.
+func (m *Mesh) ID(c Coord) int {
+	if c.X < 0 || c.X >= m.Width || c.Y < 0 || c.Y >= m.Height {
+		panic(fmt.Sprintf("topology: coordinate %v outside %dx%d mesh", c, m.Width, m.Height))
+	}
+	return c.Y*m.Width + c.X
+}
+
+// Neighbor returns the router ID adjacent to id in direction d, and whether
+// such a neighbor exists (mesh edges have no wraparound).
+func (m *Mesh) Neighbor(id int, d Direction) (int, bool) {
+	c := m.Coord(id)
+	switch d {
+	case North:
+		c.Y++
+	case South:
+		c.Y--
+	case East:
+		c.X++
+	case West:
+		c.X--
+	default:
+		return 0, false
+	}
+	if c.X < 0 || c.X >= m.Width || c.Y < 0 || c.Y >= m.Height {
+		return 0, false
+	}
+	return m.ID(c), true
+}
+
+// Hops returns the Manhattan distance between two routers.
+func (m *Mesh) Hops(src, dst int) int {
+	a, b := m.Coord(src), m.Coord(dst)
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RouteFunc computes the output port a packet at router `here` destined for
+// router `dst` must take. Returning Local means the packet has arrived.
+type RouteFunc func(m *Mesh, here, dst int) Direction
+
+// RouteXY is dimension-ordered routing, X dimension first. Deadlock-free
+// on meshes.
+func RouteXY(m *Mesh, here, dst int) Direction {
+	h, d := m.Coord(here), m.Coord(dst)
+	switch {
+	case d.X > h.X:
+		return East
+	case d.X < h.X:
+		return West
+	case d.Y > h.Y:
+		return North
+	case d.Y < h.Y:
+		return South
+	default:
+		return Local
+	}
+}
+
+// RouteYX is dimension-ordered routing, Y dimension first. Deadlock-free
+// on meshes.
+func RouteYX(m *Mesh, here, dst int) Direction {
+	h, d := m.Coord(here), m.Coord(dst)
+	switch {
+	case d.Y > h.Y:
+		return North
+	case d.Y < h.Y:
+		return South
+	case d.X > h.X:
+		return East
+	case d.X < h.X:
+		return West
+	default:
+		return Local
+	}
+}
+
+// WestFirstCandidates returns the productive output directions a packet
+// at `here` destined for `dst` may take under the west-first turn model
+// (Glass & Ni): all West hops must happen first — while the destination
+// lies to the west, West is the only choice; afterwards any minimal
+// combination of East/North/South may be chosen adaptively. Forbidding
+// turns into West breaks every cycle, so the routing is deadlock-free on
+// meshes while leaving room for congestion-aware choices.
+// Returns nil when here == dst.
+func WestFirstCandidates(m *Mesh, here, dst int) []Direction {
+	h, d := m.Coord(here), m.Coord(dst)
+	if h == d {
+		return nil
+	}
+	if d.X < h.X {
+		return []Direction{West}
+	}
+	var c []Direction
+	if d.X > h.X {
+		c = append(c, East)
+	}
+	if d.Y > h.Y {
+		c = append(c, North)
+	}
+	if d.Y < h.Y {
+		c = append(c, South)
+	}
+	return c
+}
+
+// Path returns the sequence of router IDs a packet visits from src to dst
+// (inclusive of both) under the given routing function. It is used by
+// tests and by analytic models, not by the cycle-accurate simulator.
+func (m *Mesh) Path(src, dst int, route RouteFunc) []int {
+	path := []int{src}
+	here := src
+	for here != dst {
+		d := route(m, here, dst)
+		next, ok := m.Neighbor(here, d)
+		if !ok {
+			panic(fmt.Sprintf("topology: route from %d to %d fell off the mesh at %d going %v", src, dst, here, d))
+		}
+		here = next
+		path = append(path, here)
+		if len(path) > m.Nodes()+1 {
+			panic(fmt.Sprintf("topology: route from %d to %d does not converge", src, dst))
+		}
+	}
+	return path
+}
