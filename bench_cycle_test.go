@@ -1,0 +1,80 @@
+package rlnoc
+
+// BenchmarkCycleLoop measures the steady-state cost of one Network.Step on
+// a loaded Table II mesh (8x8, uniform traffic), per scheme. The two
+// numbers that matter are allocs/op (allocations per simulated cycle; the
+// steady-state loop is expected to stay near zero) and router-cycles/s
+// (raw simulation speed). `cmd/experiments -bench-baseline` runs the same
+// loop and records the numbers in BENCH_baseline.json so every PR can be
+// compared against the last locked-in baseline.
+
+import (
+	"testing"
+
+	"rlnoc/internal/core"
+	"rlnoc/internal/traffic"
+)
+
+// benchCycleRate is the per-node injection rate (packets/node/cycle) used
+// by the cycle-loop benchmarks: busy enough that every router sees
+// traffic, below saturation so the loop stays in steady state.
+const benchCycleRate = 0.01
+
+func benchmarkCycleLoop(b *testing.B, scheme core.Scheme) {
+	cfg := DefaultConfig()
+	sim, err := core.NewSim(cfg, scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := sim.Network()
+	events, err := traffic.Synthetic(net.Mesh(), traffic.Uniform, benchCycleRate,
+		cfg.FlitsPerPacket, int64(b.N)+2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the network into steady state so the measured window reflects
+	// the cruising loop, not cold buffers.
+	i := 0
+	warm := int64(2000)
+	for net.Cycle() < warm {
+		for i < len(events) && events[i].Cycle <= net.Cycle() {
+			e := events[i]
+			if _, err := net.NewDataPacket(e.Src, e.Dst, e.Flits, net.Cycle()); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for c := 0; c < b.N; c++ {
+		for i < len(events) && events[i].Cycle <= net.Cycle() {
+			e := events[i]
+			if _, err := net.NewDataPacket(e.Src, e.Dst, e.Flits, net.Cycle()); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Routers())*float64(b.N)/b.Elapsed().Seconds(), "router-cycles/s")
+}
+
+// BenchmarkCycleLoopCRC steps the reactive CRC baseline (no ECC, no ARQ).
+func BenchmarkCycleLoopCRC(b *testing.B) { benchmarkCycleLoop(b, core.SchemeCRC) }
+
+// BenchmarkCycleLoopARQ steps the static ARQ+ECC scheme — the heaviest
+// per-link path (SECDED encode, retransmission buffers, ACK wires).
+func BenchmarkCycleLoopARQ(b *testing.B) { benchmarkCycleLoop(b, core.SchemeARQ) }
+
+// BenchmarkCycleLoopDT steps the decision-tree scheme (collecting phase).
+func BenchmarkCycleLoopDT(b *testing.B) { benchmarkCycleLoop(b, core.SchemeDT) }
+
+// BenchmarkCycleLoopRL steps the proposed Q-learning scheme, including the
+// per-epoch observation/decide path.
+func BenchmarkCycleLoopRL(b *testing.B) { benchmarkCycleLoop(b, core.SchemeRL) }

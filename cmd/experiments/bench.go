@@ -1,0 +1,193 @@
+package main
+
+// The -bench-baseline mode locks in a performance baseline for the
+// steady-state cycle loop: for every scheme it steps a loaded mesh under
+// uniform traffic and records wall-clock speed (router-cycles/s) and
+// allocation pressure (allocs and bytes per simulated cycle) into a JSON
+// file, by default BENCH_baseline.json at the repository root. Each PR
+// that touches the hot path re-runs `-bench-compare` against the
+// committed baseline so the perf trajectory is recorded, not remembered.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rlnoc/internal/core"
+	"rlnoc/internal/traffic"
+
+	"rlnoc"
+)
+
+// benchWarmupCycles brings the network to steady state before measuring,
+// so baseline numbers reflect the cruising loop, not cold-buffer growth.
+const benchWarmupCycles = 2_000
+
+// benchRate is the per-node injection rate (packets/node/cycle) of the
+// baseline workload; matches BenchmarkCycleLoop in bench_cycle_test.go.
+const benchRate = 0.01
+
+// SchemeBench is one scheme's cycle-loop measurement.
+type SchemeBench struct {
+	Scheme             string  `json:"scheme"`
+	Cycles             int64   `json:"cycles"`
+	WallSeconds        float64 `json:"wall_seconds"`
+	CyclesPerSec       float64 `json:"cycles_per_sec"`
+	RouterCyclesPerSec float64 `json:"router_cycles_per_sec"`
+	AllocsPerCycle     float64 `json:"allocs_per_cycle"`
+	BytesPerCycle      float64 `json:"bytes_per_cycle"`
+}
+
+// BenchBaseline is the serialized baseline file.
+type BenchBaseline struct {
+	GeneratedAt    string        `json:"generated_at"`
+	GoVersion      string        `json:"go_version"`
+	Mesh           string        `json:"mesh"`
+	InjectionRate  float64       `json:"injection_rate"`
+	WarmupCycles   int64         `json:"warmup_cycles"`
+	MeasuredCycles int64         `json:"measured_cycles"`
+	Schemes        []SchemeBench `json:"schemes"`
+}
+
+// measureCycleLoop steps one scheme's network for `cycles` cycles under
+// uniform traffic and returns speed and allocation-rate measurements.
+func measureCycleLoop(cfg rlnoc.Config, scheme core.Scheme, cycles int64) (SchemeBench, error) {
+	if cycles < 1 {
+		return SchemeBench{}, fmt.Errorf("bench cycles must be positive, got %d", cycles)
+	}
+	sim, err := core.NewSim(cfg, scheme)
+	if err != nil {
+		return SchemeBench{}, err
+	}
+	net := sim.Network()
+	events, err := traffic.Synthetic(net.Mesh(), traffic.Uniform, benchRate,
+		cfg.FlitsPerPacket, benchWarmupCycles+cycles+1, 1)
+	if err != nil {
+		return SchemeBench{}, err
+	}
+	idx := 0
+	step := func(until int64) error {
+		for net.Cycle() < until {
+			for idx < len(events) && events[idx].Cycle <= net.Cycle() {
+				e := events[idx]
+				if _, err := net.NewDataPacket(e.Src, e.Dst, e.Flits, net.Cycle()); err != nil {
+					return err
+				}
+				idx++
+			}
+			if err := net.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := step(benchWarmupCycles); err != nil {
+		return SchemeBench{}, err
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := step(benchWarmupCycles + cycles); err != nil {
+		return SchemeBench{}, err
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	b := SchemeBench{
+		Scheme:         string(scheme),
+		Cycles:         cycles,
+		WallSeconds:    wall,
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(cycles),
+		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cycles),
+	}
+	if wall > 0 {
+		b.CyclesPerSec = float64(cycles) / wall
+		b.RouterCyclesPerSec = b.CyclesPerSec * float64(cfg.Routers())
+	}
+	return b, nil
+}
+
+// runBenchBaseline measures every scheme and writes the baseline file.
+func runBenchBaseline(cfg rlnoc.Config, path string, cycles int64) error {
+	base := BenchBaseline{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		Mesh:           fmt.Sprintf("%dx%d", cfg.Width, cfg.Height),
+		InjectionRate:  benchRate,
+		WarmupCycles:   benchWarmupCycles,
+		MeasuredCycles: cycles,
+	}
+	for _, scheme := range core.Schemes() {
+		b, err := measureCycleLoop(cfg, scheme, cycles)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", scheme, err)
+		}
+		base.Schemes = append(base.Schemes, b)
+		fmt.Printf("%-8s %12.0f router-cycles/s  %6.2f allocs/cycle  %8.1f B/cycle\n",
+			b.Scheme, b.RouterCyclesPerSec, b.AllocsPerCycle, b.BytesPerCycle)
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("baseline written to %s\n", path)
+	return nil
+}
+
+// runBenchCompare re-measures every scheme and prints the delta against a
+// previously emitted baseline file. It fails (non-nil error) if any
+// scheme's allocs/cycle regressed by more than 25% over the baseline —
+// the locked-in guard against reintroducing hot-path allocations.
+func runBenchCompare(cfg rlnoc.Config, path string, cycles int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-compare: read baseline: %w", err)
+	}
+	var base BenchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench-compare: parse %s: %w", path, err)
+	}
+	byScheme := make(map[string]SchemeBench, len(base.Schemes))
+	for _, b := range base.Schemes {
+		byScheme[b.Scheme] = b
+	}
+	var regressed []string
+	fmt.Printf("comparing against %s (generated %s, %s)\n", path, base.GeneratedAt, base.GoVersion)
+	for _, scheme := range core.Schemes() {
+		now, err := measureCycleLoop(cfg, scheme, cycles)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", scheme, err)
+		}
+		old, ok := byScheme[string(scheme)]
+		if !ok {
+			fmt.Printf("%-8s not in baseline: %6.2f allocs/cycle, %12.0f router-cycles/s\n",
+				scheme, now.AllocsPerCycle, now.RouterCyclesPerSec)
+			continue
+		}
+		speed := 0.0
+		if old.RouterCyclesPerSec > 0 {
+			speed = now.RouterCyclesPerSec/old.RouterCyclesPerSec - 1
+		}
+		fmt.Printf("%-8s allocs/cycle %6.2f -> %6.2f   router-cycles/s %+.1f%%\n",
+			scheme, old.AllocsPerCycle, now.AllocsPerCycle, speed*100)
+		// Allocation counts are deterministic modulo runtime noise; +25%
+		// headroom tolerates GC-internal allocations without letting a
+		// real per-event allocation site (one alloc per flit ~ +100%)
+		// slip through. Wall-clock speed is reported but not gated (CI
+		// machines vary too much).
+		if now.AllocsPerCycle > old.AllocsPerCycle*1.25+0.5 {
+			regressed = append(regressed, string(scheme))
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("bench-compare: allocs/cycle regressed for %v", regressed)
+	}
+	return nil
+}

@@ -42,6 +42,10 @@ func run() error {
 		seeds      = flag.Int("seeds", 1, "number of seeds to average figures over (mean +/- std)")
 		analytic   = flag.Bool("analytic", false, "print the closed-form mode cost model and crossover thresholds")
 		loadsweep  = flag.Bool("loadsweep", false, "run the load-latency sweep (latency vs injection rate per scheme)")
+		benchBase  = flag.Bool("bench-baseline", false, "measure the cycle loop per scheme and write the baseline JSON")
+		benchComp  = flag.Bool("bench-compare", false, "re-measure the cycle loop and compare against the baseline JSON")
+		benchOut   = flag.String("bench-out", "BENCH_baseline.json", "baseline file path for -bench-baseline / -bench-compare")
+		benchCyc   = flag.Int64("bench-cycles", 20_000, "measured cycles per scheme for the cycle-loop baseline")
 	)
 	flag.Parse()
 
@@ -78,6 +82,18 @@ func run() error {
 	}
 	if *loadsweep {
 		if err := runLoadSweep(cfg); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *benchBase {
+		if err := runBenchBaseline(cfg, *benchOut, *benchCyc); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *benchComp {
+		if err := runBenchCompare(cfg, *benchOut, *benchCyc); err != nil {
 			return err
 		}
 		did = true

@@ -1,0 +1,86 @@
+package rlnoc
+
+// Determinism regression harness. Every stochastic component (fault
+// injection, exploration, traffic synthesis) is seeded from Config.Seed,
+// so a fixed-seed run must be bit-for-bit reproducible: same Result
+// floats, same counters, same serialized bytes. These tests fail loudly
+// on any RNG-ordering drift — e.g. an optimization that reorders event
+// processing, a map iteration leaking into simulation order, or shared
+// state bleeding between the suite's parallel workers. They are also the
+// correctness pin for hot-path refactors: a change that preserves these
+// bytes (against a pre-change run of the same seed) provably preserved
+// simulated behavior.
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// serialize renders a Result as canonical JSON bytes for exact comparison.
+func serialize(t *testing.T, res Result) string {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestDeterminismFixedSeed runs every scheme twice back to back with the
+// same seed and requires byte-identical serialized stats.
+func TestDeterminismFixedSeed(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Seed = 9001
+	for _, scheme := range Schemes() {
+		first, err := Run(cfg, scheme, "canneal")
+		if err != nil {
+			t.Fatalf("%s run 1: %v", scheme, err)
+		}
+		second, err := Run(cfg, scheme, "canneal")
+		if err != nil {
+			t.Fatalf("%s run 2: %v", scheme, err)
+		}
+		a, b := serialize(t, first), serialize(t, second)
+		if a != b {
+			t.Errorf("%s: fixed-seed runs diverged:\n run1: %s\n run2: %s", scheme, a, b)
+		}
+	}
+}
+
+// TestDeterminismParallelSuite runs the suite (which executes its
+// scheme x benchmark jobs on a parallel worker pool) twice, and also
+// pins each suite cell against an isolated sequential Run. Any
+// cross-goroutine state sharing or scheduling-order dependence would
+// break one of the two comparisons.
+func TestDeterminismParallelSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run is slow")
+	}
+	cfg := fastConfig()
+	cfg.Seed = 7777
+	bench := "swaptions"
+
+	s1, err := RunSuite(cfg, []string{bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunSuite(cfg, []string{bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range Schemes() {
+		a := serialize(t, s1.Results[bench][scheme])
+		b := serialize(t, s2.Results[bench][scheme])
+		if a != b {
+			t.Errorf("%s: parallel suite runs diverged:\n run1: %s\n run2: %s", scheme, a, b)
+		}
+		solo, err := Run(cfg, scheme, bench)
+		if err != nil {
+			t.Fatalf("%s solo: %v", scheme, err)
+		}
+		if c := serialize(t, solo); c != a {
+			t.Errorf("%s: suite worker differs from sequential run:\n suite: %s\n  solo: %s",
+				scheme, a, c)
+		}
+	}
+}

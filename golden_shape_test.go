@@ -1,0 +1,125 @@
+package rlnoc
+
+// Golden-shape regression test: pins the paper's headline result shape
+// (Figs. 6-10) at a reduced configuration that runs in a few seconds.
+//
+// The paper's full-scale claim is CRC worst on retransmissions, latency
+// and dynamic power and best on nothing, with the protected schemes
+// (ARQ+ECC, DT, RL) dramatically better on all three and better on
+// energy efficiency. That separation is what this test locks in, with
+// explicit tolerance factors verified over several seeds.
+//
+// One deliberate deviation from the full-scale figures: at this reduced
+// config the error field is uniformly elevated (high BaseErrorRate,
+// tiny 4x4 mesh, so little spatial/thermal variation), which makes the
+// static always-Mode-1 policy the oracle. The adaptive schemes converge
+// toward it but pay exploration (RL's TestEpsilon) and approximation
+// cost, so the intra-chain order here is ARQ <= DT <= RL on
+// latency/power rather than the paper's RL <= DT <= ARQ, which needs
+// full-scale thermal gradients for adaptivity to pay off. The chain is
+// asserted in the direction that holds at this scale; the CRC-vs-rest
+// separation (the load-bearing claim) is asserted in full.
+
+import "testing"
+
+// goldenConfig is the reduced suite configuration: 4x4 mesh under a
+// heavily elevated error rate so mode choice matters within a short
+// measured window. Deterministic per seed; ~1s per scheme.
+func goldenConfig() Config {
+	cfg := SmallConfig()
+	cfg.PretrainCycles = 30_000
+	cfg.WarmupCycles = 2_000
+	cfg.MaxCycles = 15_000
+	cfg.DrainCycles = 20_000
+	cfg.Fault.BaseErrorRate = 0.005
+	cfg.Seed = 1
+	return cfg
+}
+
+// protected lists the schemes with link-level error protection, i.e.
+// everything but the reactive CRC baseline.
+func protected() []Scheme { return []Scheme{ARQ, DT, RL} }
+
+func TestGoldenShape(t *testing.T) {
+	suite, err := RunSuite(goldenConfig(), []string{"canneal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figure := func(id FigureID) Figure {
+		f, err := suite.Figure(id)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		for _, sc := range Schemes() {
+			if v := f.Mean[sc]; v <= 0 {
+				t.Fatalf("figure %s: non-positive mean %g for %s", id, v, sc)
+			}
+		}
+		return f
+	}
+
+	// below asserts every protected scheme's figure mean stays under
+	// bound x the CRC baseline's mean (figures are CRC-normalized, but
+	// comparing against the actual CRC cell keeps that a non-assumption).
+	below := func(f Figure, id FigureID, bound float64) {
+		t.Helper()
+		for _, sc := range protected() {
+			if f.Mean[sc] > bound*f.Mean[CRC] {
+				t.Errorf("%s: %s = %.3f exceeds %.2f x CRC (%.3f)",
+					id, sc, f.Mean[sc], bound, f.Mean[CRC])
+			}
+		}
+	}
+	// chain asserts a <= b within a multiplicative slack (absorbs
+	// residual exploration noise without allowing an order flip).
+	chain := func(f Figure, id FigureID, slack float64, order ...Scheme) {
+		t.Helper()
+		for i := 1; i < len(order); i++ {
+			lo, hi := order[i-1], order[i]
+			if f.Mean[lo] > slack*f.Mean[hi] {
+				t.Errorf("%s: expected %s (%.3f) <= %.2f x %s (%.3f)",
+					id, lo, f.Mean[lo], slack, hi, f.Mean[hi])
+			}
+		}
+	}
+
+	// Fig. 6 - retransmissions. Link-level protection eliminates most
+	// fault-caused end-to-end retransmissions; the probed ratios are
+	// 0.04-0.59 across seeds, so 0.75 leaves headroom without letting
+	// the separation collapse.
+	fig6 := figure(Fig6Retransmission)
+	below(fig6, Fig6Retransmission, 0.75)
+
+	// Fig. 7 - application speedup. Protection must not cost execution
+	// time: nothing worse than 10% below the CRC baseline.
+	fig7 := figure(Fig7Speedup)
+	for _, sc := range protected() {
+		if fig7.Mean[sc] < 0.90*fig7.Mean[CRC] {
+			t.Errorf("fig7: %s speedup %.3f below 0.90 x CRC (%.3f)",
+				sc, fig7.Mean[sc], fig7.Mean[CRC])
+		}
+	}
+
+	// Fig. 8 - packet latency. Retransmission round trips dominate CRC's
+	// latency at this error rate; protected schemes stay well under it
+	// and follow the reduced-scale chain (see header comment).
+	fig8 := figure(Fig8Latency)
+	below(fig8, Fig8Latency, 0.85)
+	chain(fig8, Fig8Latency, 1.10, ARQ, DT, RL, CRC)
+
+	// Fig. 9 - energy efficiency (higher is better): reversed relations.
+	fig9 := figure(Fig9EnergyEfficiency)
+	for _, sc := range protected() {
+		if fig9.Mean[sc] < 1.05*fig9.Mean[CRC] {
+			t.Errorf("fig9: %s efficiency %.3f not above 1.05 x CRC (%.3f)",
+				sc, fig9.Mean[sc], fig9.Mean[CRC])
+		}
+	}
+	chain(fig9, Fig9EnergyEfficiency, 1.10, CRC, RL, DT, ARQ)
+
+	// Fig. 10 - dynamic power: retransmission traffic costs switching
+	// energy, so protection saves power despite the ECC overhead.
+	fig10 := figure(Fig10DynamicPower)
+	below(fig10, Fig10DynamicPower, 0.95)
+	chain(fig10, Fig10DynamicPower, 1.10, ARQ, DT, RL, CRC)
+}

@@ -206,14 +206,19 @@ func (s *Sim) Pretrain() error {
 // packets outstanding, so a slow (error-ridden) network stretches the
 // application's execution time, exactly what Fig. 7 measures.
 type injector struct {
-	queues    [][]traffic.Event
+	queues [][]traffic.Event
+	// heads[src] indexes the next pending event of queues[src]; consuming
+	// by index instead of re-slicing keeps the per-cycle injection sweep
+	// free of slice-header churn.
+	heads     []int
 	remaining int
 	window    int
 	base      int64
 }
 
 func newInjector(events []traffic.Event, nodes int, window int, base int64) *injector {
-	in := &injector{queues: make([][]traffic.Event, nodes), remaining: len(events), window: window, base: base}
+	in := &injector{queues: make([][]traffic.Event, nodes), heads: make([]int, nodes),
+		remaining: len(events), window: window, base: base}
 	for _, e := range events {
 		in.queues[e.Src] = append(in.queues[e.Src], e)
 	}
@@ -223,18 +228,19 @@ func newInjector(events []traffic.Event, nodes int, window int, base int64) *inj
 func (in *injector) step(net *network.Network, now int64) error {
 	for src := range in.queues {
 		q := in.queues[src]
-		for len(q) > 0 && in.base+q[0].Cycle <= now {
+		h := in.heads[src]
+		for h < len(q) && in.base+q[h].Cycle <= now {
 			if in.window > 0 && net.SourceOutstanding(src) >= in.window {
 				break
 			}
-			e := q[0]
+			e := q[h]
 			if _, err := net.NewDataPacket(e.Src, e.Dst, e.Flits, now); err != nil {
 				return err
 			}
-			q = q[1:]
+			h++
 			in.remaining--
 		}
-		in.queues[src] = q
+		in.heads[src] = h
 	}
 	return nil
 }

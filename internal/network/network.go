@@ -68,6 +68,18 @@ type Network struct {
 	lastProgress int64
 	lastDelivery int64
 
+	// fpool recycles retired flits (delivered, dropped, or ACKed out of a
+	// retransmission buffer) back into the clone/packetization sites,
+	// keeping the steady-state cycle loop allocation-free.
+	fpool flit.Pool
+
+	// Reused per-epoch/per-window scratch buffers (one element per
+	// router), hoisted out of thermalStep and controlEpoch.
+	scratchPowers   []float64
+	epochLats       []float64
+	epochPowers     []float64
+	epochCtrlPowers []float64
+
 	// elog records flit/packet events when non-nil (nocsim -eventlog).
 	elog *eventlog.Log
 
@@ -138,6 +150,11 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		coreFlits:     make([]float64, n),
 		epochEnergyPJ: make([]float64, n),
 		meanLatEWMA:   50,
+
+		scratchPowers:   make([]float64, n),
+		epochLats:       make([]float64, n),
+		epochPowers:     make([]float64, n),
+		epochCtrlPowers: make([]float64, n),
 	}
 	if net.dataVCs < 1 {
 		net.dataVCs = 1
@@ -481,7 +498,10 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
 	if wf.seq != p.expectSeq {
 		// Duplicates (already accepted) and younger flits racing a
 		// retransmission are dropped silently; go-back-N resends the
-		// younger ones in order.
+		// younger ones in order. Every wire flit is singly-referenced
+		// (transmit and retransmit put clones on the wire), so a dropped
+		// one retires to the pool.
+		n.fpool.Put(wf.f)
 		return
 	}
 
@@ -526,6 +546,7 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
 
 	if !accept {
 		n.stats.Measuref(func(c *statsCollector) { c.ECCDetections++ })
+		n.fpool.Put(wf.f)
 		if wf.dupFollows {
 			// Mode 2: the pre-retransmitted copy (same sequence number)
 			// arrives next cycle; defer the NACK decision to it.
@@ -581,11 +602,21 @@ func (n *Network) processAcks(r *Router, p *outputPort) {
 			}
 			continue
 		}
-		// Cumulative ACK: drop acknowledged entries from the front.
+		// Cumulative ACK: drop acknowledged entries from the front. The
+		// queue compacts in place (rather than re-slicing forward) so the
+		// backing array is reused forever, and the retired clean copies go
+		// back to the flit pool.
 		popped := 0
-		for len(p.unacked) > 0 && p.unacked[0].seq <= a.seq {
-			p.unacked = p.unacked[1:]
+		for popped < len(p.unacked) && p.unacked[popped].seq <= a.seq {
+			n.fpool.Put(p.unacked[popped].f)
 			popped++
+		}
+		if popped > 0 {
+			m := copy(p.unacked, p.unacked[popped:])
+			for i := m; i < len(p.unacked); i++ {
+				p.unacked[i] = txEntry{}
+			}
+			p.unacked = p.unacked[:m]
 		}
 		if p.resendIdx >= 0 {
 			p.resendIdx -= popped
@@ -836,8 +867,10 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 		}
 		f.ECCValid = true
 		n.meter.ECCEncode(r.id)
-		// Hold a clean copy for ARQ.
-		op.unacked = append(op.unacked, txEntry{f: f.Clone(), seq: seq, dupFollows: mode == Mode2})
+		// The retransmission buffer keeps f itself as the clean copy (it
+		// retires to the pool on cumulative ACK); the wire gets a pooled
+		// clone below, which fault injection may corrupt.
+		op.unacked = append(op.unacked, txEntry{f: f, seq: seq, dupFollows: mode == Mode2})
 		n.meter.OutputBuffer(r.id)
 	}
 
@@ -846,7 +879,7 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 
 	wire := f
 	if eccOn {
-		wire = f.Clone() // the unacked entry keeps the pristine flit
+		wire = n.fpool.Clone(f) // the unacked entry keeps the pristine flit
 	}
 	n.corrupt(r, op, wire)
 	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: seq, eccValid: eccOn, dupFollows: mode == Mode2})
@@ -858,7 +891,7 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 		Packet: f.Packet.ID, Aux: int64(f.Seq)})
 
 	if mode == Mode2 {
-		dup := op.unacked[len(op.unacked)-1].f.Clone()
+		dup := n.fpool.Clone(op.unacked[len(op.unacked)-1].f)
 		n.corrupt(r, op, dup)
 		n.pushWire(op, wireFlit{f: dup, arrive: arrive + 1, seq: seq, eccValid: true, isDup: true})
 		n.meter.Link(r.id)
@@ -877,7 +910,7 @@ func (n *Network) retransmit(r *Router, op *outputPort) {
 	if op.resendIdx >= len(op.unacked) {
 		op.resendIdx = -1
 	}
-	wire := e.f.Clone()
+	wire := n.fpool.Clone(e.f)
 	n.corrupt(r, op, wire)
 	// Retransmissions go out singly (no Mode 2 duplicate) with the ECC
 	// stage enabled — only ECC-protected flits can be NACKed.
@@ -921,7 +954,7 @@ func (n *Network) corrupt(r *Router, op *outputPort, f *flit.Flit) {
 func (n *Network) thermalStep() {
 	period := int64(n.cfg.Thermal.UpdatePeriod)
 	periodNS := float64(period) * n.cfg.CyclePeriodNS()
-	powers := make([]float64, len(n.routers))
+	powers := n.scratchPowers // fully overwritten below
 	for id := range n.routers {
 		n.meter.AddStaticCyclesAt(id, period, n.eccFraction(id), n.cfg.CyclePeriodNS(),
 			n.grid.Temperature(id))
@@ -950,10 +983,11 @@ func (n *Network) controlEpoch() {
 		n.meanLatEWMA = 0.7*n.meanLatEWMA + 0.3*(n.epochLatSum/float64(n.epochLatCount))
 	}
 	// First pass: per-router latency and power, plus the network-wide
-	// mean raw reward used for normalization.
-	lats := make([]float64, len(n.routers))
-	powers := make([]float64, len(n.routers))
-	ctrlPowers := make([]float64, len(n.routers))
+	// mean raw reward used for normalization. The three scratch buffers
+	// are reused across epochs and fully overwritten here.
+	lats := n.epochLats
+	powers := n.epochPowers
+	ctrlPowers := n.epochCtrlPowers
 	leakBaseW := n.meter.Params().RouterLeakageMW / 1000
 	var rawSum float64
 	for id := range n.routers {

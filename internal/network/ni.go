@@ -27,6 +27,10 @@ type NI struct {
 	replay map[uint64]*flit.Packet
 	reasm  map[uint64][]*flit.Flit
 
+	// reasmFree recycles emptied reassembly buffers so steady-state
+	// packet reception allocates no slices.
+	reasmFree [][]*flit.Flit
+
 	rng *rand.Rand
 }
 
@@ -85,7 +89,12 @@ func (ni *NI) injectClass(cycle int64, cur **txState, queue *[]*flit.Packet, con
 			return false
 		}
 		pkt := (*queue)[0]
-		*queue = (*queue)[1:]
+		// Pop by compacting in place: the backing array stays put, so the
+		// queue never re-allocates once it has grown to its working size.
+		q := *queue
+		m := copy(q, q[1:])
+		q[m] = nil
+		*queue = q[:m]
 		ni.localVCBusy[vc] = true
 		*cur = &txState{pkt: pkt, vc: vc}
 		if pkt.FirstInjectedAt < 0 {
@@ -129,23 +138,45 @@ func (ni *NI) freeLocalVC(lo, hi int) int {
 // local input VC.
 func (ni *NI) releaseLocalVC(vc int) { ni.localVCBusy[vc] = false }
 
-// makeFlit materializes flit seq of a packet from its pristine payload.
+// makeFlit materializes flit seq of a packet from its pristine payload,
+// drawing the struct from the network's flit pool.
 func (ni *NI) makeFlit(p *flit.Packet, seq int) *flit.Flit {
-	f := &flit.Flit{Packet: p, Seq: seq, Type: p.TypeOf(seq)}
+	f := ni.net.fpool.Get()
+	f.Packet = p
+	f.Seq = seq
+	f.Type = p.TypeOf(seq)
 	f.RestorePayload()
 	return f
 }
 
-// receive consumes a flit ejected at this node.
+// receive consumes a flit ejected at this node. Once a packet's tail
+// lands, all its flits retire to the pool and the reassembly buffer is
+// recycled — the ejection side of the allocation-free cycle loop.
 func (ni *NI) receive(f *flit.Flit, cycle int64) {
 	ni.net.meter.CRCCheck(ni.id)
 	id := f.Packet.ID
-	ni.reasm[id] = append(ni.reasm[id], f)
+	buf, live := ni.reasm[id]
+	if !live {
+		if n := len(ni.reasmFree); n > 0 {
+			buf = ni.reasmFree[n-1]
+			ni.reasmFree[n-1] = nil
+			ni.reasmFree = ni.reasmFree[:n-1]
+		}
+	}
+	buf = append(buf, f)
 	if !f.Type.IsTail() {
+		ni.reasm[id] = buf
 		return
 	}
-	flits := ni.reasm[id]
 	delete(ni.reasm, id)
+	flits := buf
+	defer func() {
+		for i, fl := range flits {
+			ni.net.fpool.Put(fl)
+			flits[i] = nil
+		}
+		ni.reasmFree = append(ni.reasmFree, flits[:0])
+	}()
 	pkt := f.Packet
 	ok := len(flits) == pkt.NumFlits()
 	if ok {

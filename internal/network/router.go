@@ -39,9 +39,14 @@ func (vc *inputVC) front() *bufFlit {
 	return &vc.buf[0]
 }
 
+// pop removes and returns the front flit, compacting in place so the
+// buffer's backing array (sized to the VC depth at construction) is
+// reused for the lifetime of the router.
 func (vc *inputVC) pop() *flit.Flit {
 	f := vc.buf[0].f
-	vc.buf = vc.buf[1:]
+	m := copy(vc.buf, vc.buf[1:])
+	vc.buf[m] = bufFlit{}
+	vc.buf = vc.buf[:m]
 	return f
 }
 
@@ -179,7 +184,7 @@ func newRouter(id int, vcs, vcDepth int) *Router {
 	for port := topology.Direction(0); port < topology.NumPorts; port++ {
 		r.inputs[port] = make([]*inputVC, vcs)
 		for v := 0; v < vcs; v++ {
-			r.inputs[port][v] = &inputVC{cap: vcDepth, outVC: -1}
+			r.inputs[port][v] = &inputVC{buf: make([]bufFlit, 0, vcDepth), cap: vcDepth, outVC: -1}
 		}
 	}
 	return r
