@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"rlnoc/internal/core"
+	"rlnoc/internal/network"
 	"rlnoc/internal/traffic"
 )
 
@@ -20,14 +21,34 @@ import (
 // traffic, below saturation so the loop stays in steady state.
 const benchCycleRate = 0.01
 
+// benchLoadedRate drives the Mode-2 loaded benchmark near the top of the
+// activity spectrum (duplicated flits on every link), bounding the
+// bookkeeping overhead of the active sets when there is little to skip.
+const benchLoadedRate = 0.05
+
 func benchmarkCycleLoop(b *testing.B, scheme core.Scheme) {
 	cfg := DefaultConfig()
 	sim, err := core.NewSim(cfg, scheme)
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchmarkCycleLoopSim(b, cfg, sim, benchCycleRate)
+}
+
+// benchmarkCycleLoopStatic steps a fixed-mode mesh (no controller) at the
+// given injection rate.
+func benchmarkCycleLoopStatic(b *testing.B, mode network.Mode, rate float64) {
+	cfg := DefaultConfig()
+	sim, err := core.NewStaticSim(cfg, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkCycleLoopSim(b, cfg, sim, rate)
+}
+
+func benchmarkCycleLoopSim(b *testing.B, cfg Config, sim *core.Sim, rate float64) {
 	net := sim.Network()
-	events, err := traffic.Synthetic(net.Mesh(), traffic.Uniform, benchCycleRate,
+	events, err := traffic.Synthetic(net.Mesh(), traffic.Uniform, rate,
 		cfg.FlitsPerPacket, int64(b.N)+2000, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -78,3 +99,16 @@ func BenchmarkCycleLoopDT(b *testing.B) { benchmarkCycleLoop(b, core.SchemeDT) }
 // BenchmarkCycleLoopRL steps the proposed Q-learning scheme, including the
 // per-epoch observation/decide path.
 func BenchmarkCycleLoopRL(b *testing.B) { benchmarkCycleLoop(b, core.SchemeRL) }
+
+// BenchmarkCycleLoopIdle steps a static Mode-0 mesh with zero injection:
+// the best case for activity-proportional stepping, where every router is
+// quiet and Step should cost near nothing.
+func BenchmarkCycleLoopIdle(b *testing.B) { benchmarkCycleLoopStatic(b, network.Mode0, 0) }
+
+// BenchmarkCycleLoopMode2Loaded steps a static Mode-2 mesh (flit
+// duplication doubles link traffic) at 5x the baseline rate: the worst
+// case for the active sets, where almost nothing can be skipped and the
+// marking bookkeeping is pure overhead.
+func BenchmarkCycleLoopMode2Loaded(b *testing.B) {
+	benchmarkCycleLoopStatic(b, network.Mode2, benchLoadedRate)
+}

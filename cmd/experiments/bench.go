@@ -7,15 +7,28 @@ package main
 // file, by default BENCH_baseline.json at the repository root. Each PR
 // that touches the hot path re-runs `-bench-compare` against the
 // committed baseline so the perf trajectory is recorded, not remembered.
+//
+// Beyond the four per-scheme low-load workloads, two scenarios bracket
+// the activity spectrum of the active-set stepping path:
+//
+//   - "idle": a static Mode-0 mesh with zero injection. Nothing moves, so
+//     an activity-proportional Step should cost almost nothing; this is
+//     where skipping quiet routers pays the most.
+//   - "mode2-loaded": a static Mode-2 mesh (flit duplication doubles link
+//     traffic) at 5x the baseline rate. Most routers stay busy, so this
+//     bounds the bookkeeping overhead the active sets add when there is
+//     little to skip.
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rlnoc/internal/core"
+	"rlnoc/internal/network"
 	"rlnoc/internal/traffic"
 
 	"rlnoc"
@@ -29,9 +42,14 @@ const benchWarmupCycles = 2_000
 // baseline workload; matches BenchmarkCycleLoop in bench_cycle_test.go.
 const benchRate = 0.01
 
-// SchemeBench is one scheme's cycle-loop measurement.
+// benchLoadedRate drives the mode2-loaded scenario: heavy enough that the
+// active sets stay near-full, still below saturation.
+const benchLoadedRate = 0.05
+
+// SchemeBench is one scenario's cycle-loop measurement.
 type SchemeBench struct {
 	Scheme             string  `json:"scheme"`
+	InjectionRate      float64 `json:"injection_rate"`
 	Cycles             int64   `json:"cycles"`
 	WallSeconds        float64 `json:"wall_seconds"`
 	CyclesPerSec       float64 `json:"cycles_per_sec"`
@@ -51,68 +69,193 @@ type BenchBaseline struct {
 	Schemes        []SchemeBench `json:"schemes"`
 }
 
-// measureCycleLoop steps one scheme's network for `cycles` cycles under
-// uniform traffic and returns speed and allocation-rate measurements.
-func measureCycleLoop(cfg rlnoc.Config, scheme core.Scheme, cycles int64) (SchemeBench, error) {
-	if cycles < 1 {
-		return SchemeBench{}, fmt.Errorf("bench cycles must be positive, got %d", cycles)
+// benchScenario names one workload of the baseline sweep.
+type benchScenario struct {
+	name   string
+	rate   float64
+	scheme core.Scheme  // adaptive scheme, when static is false
+	static bool         // use a fixed-mode network instead of a scheme
+	mode   network.Mode // fixed mode, when static is true
+}
+
+// benchScenarios lists the full sweep: the four schemes at the baseline
+// rate, plus the idle and mode2-loaded brackets described above.
+func benchScenarios() []benchScenario {
+	var scs []benchScenario
+	for _, scheme := range core.Schemes() {
+		scs = append(scs, benchScenario{name: string(scheme), rate: benchRate, scheme: scheme})
 	}
-	sim, err := core.NewSim(cfg, scheme)
+	scs = append(scs,
+		benchScenario{name: "idle", rate: 0, static: true, mode: network.Mode0},
+		benchScenario{name: "mode2-loaded", rate: benchLoadedRate, static: true, mode: network.Mode2},
+	)
+	return scs
+}
+
+// benchRun is a prepared (constructed and warmed-up) scenario awaiting its
+// measured phase. The two-stage split exists so -cpuprofile can bracket
+// only the measured loops: every scenario is prepared first, then the CPU
+// profile starts, then the measured phases run back to back.
+type benchRun struct {
+	sc     benchScenario
+	net    *network.Network
+	events []traffic.Event
+	idx    int
+	cycles int64
+}
+
+// prepareBench builds the scenario's network, generates its traffic trace
+// and steps through the warmup window.
+func prepareBench(cfg rlnoc.Config, sc benchScenario, cycles int64) (*benchRun, error) {
+	if cycles < 1 {
+		return nil, fmt.Errorf("bench cycles must be positive, got %d", cycles)
+	}
+	var (
+		sim *core.Sim
+		err error
+	)
+	if sc.static {
+		sim, err = core.NewStaticSim(cfg, sc.mode)
+	} else {
+		sim, err = core.NewSim(cfg, sc.scheme)
+	}
 	if err != nil {
-		return SchemeBench{}, err
+		return nil, err
 	}
 	net := sim.Network()
-	events, err := traffic.Synthetic(net.Mesh(), traffic.Uniform, benchRate,
+	events, err := traffic.Synthetic(net.Mesh(), traffic.Uniform, sc.rate,
 		cfg.FlitsPerPacket, benchWarmupCycles+cycles+1, 1)
 	if err != nil {
-		return SchemeBench{}, err
+		return nil, err
 	}
-	idx := 0
-	step := func(until int64) error {
-		for net.Cycle() < until {
-			for idx < len(events) && events[idx].Cycle <= net.Cycle() {
-				e := events[idx]
-				if _, err := net.NewDataPacket(e.Src, e.Dst, e.Flits, net.Cycle()); err != nil {
-					return err
-				}
-				idx++
-			}
-			if err := net.Step(); err != nil {
+	r := &benchRun{sc: sc, net: net, events: events, cycles: cycles}
+	if err := r.step(benchWarmupCycles); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *benchRun) step(until int64) error {
+	for r.net.Cycle() < until {
+		for r.idx < len(r.events) && r.events[r.idx].Cycle <= r.net.Cycle() {
+			e := r.events[r.idx]
+			if _, err := r.net.NewDataPacket(e.Src, e.Dst, e.Flits, r.net.Cycle()); err != nil {
 				return err
 			}
+			r.idx++
 		}
-		return nil
+		if err := r.net.Step(); err != nil {
+			return err
+		}
 	}
-	if err := step(benchWarmupCycles); err != nil {
-		return SchemeBench{}, err
-	}
+	return nil
+}
 
+// measure runs the timed window and returns the scenario's numbers.
+func (r *benchRun) measure() (SchemeBench, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	if err := step(benchWarmupCycles + cycles); err != nil {
+	if err := r.step(benchWarmupCycles + r.cycles); err != nil {
 		return SchemeBench{}, err
 	}
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
 
 	b := SchemeBench{
-		Scheme:         string(scheme),
-		Cycles:         cycles,
+		Scheme:         r.sc.name,
+		InjectionRate:  r.sc.rate,
+		Cycles:         r.cycles,
 		WallSeconds:    wall,
-		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(cycles),
-		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cycles),
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(r.cycles),
+		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(r.cycles),
 	}
 	if wall > 0 {
-		b.CyclesPerSec = float64(cycles) / wall
-		b.RouterCyclesPerSec = b.CyclesPerSec * float64(cfg.Routers())
+		b.CyclesPerSec = float64(r.cycles) / wall
+		b.RouterCyclesPerSec = b.CyclesPerSec * float64(r.net.Mesh().Nodes())
 	}
 	return b, nil
 }
 
-// runBenchBaseline measures every scheme and writes the baseline file.
-func runBenchBaseline(cfg rlnoc.Config, path string, cycles int64) error {
+// benchProfiles carries the optional pprof output paths. The CPU profile
+// brackets only the measured loops (warmup excluded); the heap profile is
+// written once after the last measured phase.
+type benchProfiles struct {
+	cpu string
+	mem string
+}
+
+// start begins CPU profiling if requested. Call after all warmups.
+func (p benchProfiles) start() (func() error, error) {
+	stop := func() error { return nil }
+	if p.cpu != "" {
+		f, err := os.Create(p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		}
+	}
+	return stop, nil
+}
+
+// writeHeap dumps an allocation profile if requested. Call after the
+// measured phases.
+func (p benchProfiles) writeHeap() error {
+	if p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(p.mem)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	return pprof.WriteHeapProfile(f)
+}
+
+// measureAll prepares every scenario (warmups first), then runs the
+// measured phases back to back under the optional CPU profile.
+func measureAll(cfg rlnoc.Config, cycles int64, prof benchProfiles) ([]SchemeBench, error) {
+	var runs []*benchRun
+	for _, sc := range benchScenarios() {
+		r, err := prepareBench(cfg, sc, cycles)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: prepare: %w", sc.name, err)
+		}
+		runs = append(runs, r)
+	}
+	stop, err := prof.start()
+	if err != nil {
+		return nil, err
+	}
+	var out []SchemeBench
+	for _, r := range runs {
+		b, err := r.measure()
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("bench %s: %w", r.sc.name, err)
+		}
+		out = append(out, b)
+	}
+	if err := stop(); err != nil {
+		return nil, err
+	}
+	if err := prof.writeHeap(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runBenchBaseline measures every scenario and writes the baseline file.
+func runBenchBaseline(cfg rlnoc.Config, path string, cycles int64, prof benchProfiles) error {
 	base := BenchBaseline{
 		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
 		GoVersion:      runtime.Version(),
@@ -121,13 +264,13 @@ func runBenchBaseline(cfg rlnoc.Config, path string, cycles int64) error {
 		WarmupCycles:   benchWarmupCycles,
 		MeasuredCycles: cycles,
 	}
-	for _, scheme := range core.Schemes() {
-		b, err := measureCycleLoop(cfg, scheme, cycles)
-		if err != nil {
-			return fmt.Errorf("bench %s: %w", scheme, err)
-		}
+	benches, err := measureAll(cfg, cycles, prof)
+	if err != nil {
+		return err
+	}
+	for _, b := range benches {
 		base.Schemes = append(base.Schemes, b)
-		fmt.Printf("%-8s %12.0f router-cycles/s  %6.2f allocs/cycle  %8.1f B/cycle\n",
+		fmt.Printf("%-14s %12.0f router-cycles/s  %6.2f allocs/cycle  %8.1f B/cycle\n",
 			b.Scheme, b.RouterCyclesPerSec, b.AllocsPerCycle, b.BytesPerCycle)
 	}
 	data, err := json.MarshalIndent(base, "", "  ")
@@ -141,11 +284,25 @@ func runBenchBaseline(cfg rlnoc.Config, path string, cycles int64) error {
 	return nil
 }
 
-// runBenchCompare re-measures every scheme and prints the delta against a
-// previously emitted baseline file. It fails (non-nil error) if any
-// scheme's allocs/cycle regressed by more than 25% over the baseline —
-// the locked-in guard against reintroducing hot-path allocations.
-func runBenchCompare(cfg rlnoc.Config, path string, cycles int64) error {
+// runBenchCompare re-measures every scenario and prints the delta against
+// a previously emitted baseline file. Which deltas turn into failures is
+// selected by gate:
+//
+//   - "allocs" (the default, and the hard CI gate): fail if any scenario's
+//     allocs/cycle regressed by more than 25% over the baseline.
+//     Allocation counts are deterministic modulo runtime noise; the
+//     headroom tolerates GC-internal allocations without letting a real
+//     per-event allocation site (one alloc per flit ~ +100%) slip through.
+//   - "speed": fail if any scenario's router-cycles/s dropped by more than
+//     25%. Wall-clock varies with the host, so CI runs this gate as a
+//     soft-fail advisory step rather than a merge blocker.
+//   - "all": both.
+func runBenchCompare(cfg rlnoc.Config, path string, cycles int64, gate string, prof benchProfiles) error {
+	switch gate {
+	case "allocs", "speed", "all":
+	default:
+		return fmt.Errorf("bench-compare: unknown gate %q (want allocs|speed|all)", gate)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("bench-compare: read baseline: %w", err)
@@ -158,36 +315,37 @@ func runBenchCompare(cfg rlnoc.Config, path string, cycles int64) error {
 	for _, b := range base.Schemes {
 		byScheme[b.Scheme] = b
 	}
-	var regressed []string
+	benches, err := measureAll(cfg, cycles, prof)
+	if err != nil {
+		return err
+	}
+	var allocRegressed, speedRegressed []string
 	fmt.Printf("comparing against %s (generated %s, %s)\n", path, base.GeneratedAt, base.GoVersion)
-	for _, scheme := range core.Schemes() {
-		now, err := measureCycleLoop(cfg, scheme, cycles)
-		if err != nil {
-			return fmt.Errorf("bench %s: %w", scheme, err)
-		}
-		old, ok := byScheme[string(scheme)]
+	for _, now := range benches {
+		old, ok := byScheme[now.Scheme]
 		if !ok {
-			fmt.Printf("%-8s not in baseline: %6.2f allocs/cycle, %12.0f router-cycles/s\n",
-				scheme, now.AllocsPerCycle, now.RouterCyclesPerSec)
+			fmt.Printf("%-14s not in baseline: %6.2f allocs/cycle, %12.0f router-cycles/s\n",
+				now.Scheme, now.AllocsPerCycle, now.RouterCyclesPerSec)
 			continue
 		}
 		speed := 0.0
 		if old.RouterCyclesPerSec > 0 {
 			speed = now.RouterCyclesPerSec/old.RouterCyclesPerSec - 1
 		}
-		fmt.Printf("%-8s allocs/cycle %6.2f -> %6.2f   router-cycles/s %+.1f%%\n",
-			scheme, old.AllocsPerCycle, now.AllocsPerCycle, speed*100)
-		// Allocation counts are deterministic modulo runtime noise; +25%
-		// headroom tolerates GC-internal allocations without letting a
-		// real per-event allocation site (one alloc per flit ~ +100%)
-		// slip through. Wall-clock speed is reported but not gated (CI
-		// machines vary too much).
+		fmt.Printf("%-14s allocs/cycle %6.2f -> %6.2f   router-cycles/s %+.1f%%\n",
+			now.Scheme, old.AllocsPerCycle, now.AllocsPerCycle, speed*100)
 		if now.AllocsPerCycle > old.AllocsPerCycle*1.25+0.5 {
-			regressed = append(regressed, string(scheme))
+			allocRegressed = append(allocRegressed, now.Scheme)
+		}
+		if old.RouterCyclesPerSec > 0 && now.RouterCyclesPerSec < old.RouterCyclesPerSec*0.75 {
+			speedRegressed = append(speedRegressed, now.Scheme)
 		}
 	}
-	if len(regressed) > 0 {
-		return fmt.Errorf("bench-compare: allocs/cycle regressed for %v", regressed)
+	if (gate == "allocs" || gate == "all") && len(allocRegressed) > 0 {
+		return fmt.Errorf("bench-compare: allocs/cycle regressed for %v", allocRegressed)
+	}
+	if (gate == "speed" || gate == "all") && len(speedRegressed) > 0 {
+		return fmt.Errorf("bench-compare: router-cycles/s regressed >25%% for %v", speedRegressed)
 	}
 	return nil
 }

@@ -46,6 +46,10 @@ func run() error {
 		benchComp  = flag.Bool("bench-compare", false, "re-measure the cycle loop and compare against the baseline JSON")
 		benchOut   = flag.String("bench-out", "BENCH_baseline.json", "baseline file path for -bench-baseline / -bench-compare")
 		benchCyc   = flag.Int64("bench-cycles", 20_000, "measured cycles per scheme for the cycle-loop baseline")
+		benchGate  = flag.String("bench-gate", "allocs", "which -bench-compare regressions fail the run: allocs|speed|all")
+		workers    = flag.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the measured bench loops to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile after the measured bench loops to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +66,10 @@ func run() error {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	if *workers != 0 {
+		cfg.SuiteWorkers = *workers
+	}
+	prof := benchProfiles{cpu: *cpuProf, mem: *memProf}
 	var benchmarks []string
 	if *benchFlag != "" {
 		benchmarks = strings.Split(*benchFlag, ",")
@@ -87,13 +95,13 @@ func run() error {
 		did = true
 	}
 	if *benchBase {
-		if err := runBenchBaseline(cfg, *benchOut, *benchCyc); err != nil {
+		if err := runBenchBaseline(cfg, *benchOut, *benchCyc, prof); err != nil {
 			return err
 		}
 		did = true
 	}
 	if *benchComp {
-		if err := runBenchCompare(cfg, *benchOut, *benchCyc); err != nil {
+		if err := runBenchCompare(cfg, *benchOut, *benchCyc, *benchGate, prof); err != nil {
 			return err
 		}
 		did = true

@@ -61,6 +61,12 @@ type Config struct {
 	MaxCycles      int `json:"max_cycles"`      // hard cap on measured phase
 	DrainCycles    int `json:"drain_cycles"`    // cap on post-trace drain
 
+	// SuiteWorkers caps the experiment suite's parallel worker pool
+	// (scheme x benchmark jobs). 0 sizes the pool from
+	// runtime.GOMAXPROCS(0). Results are deterministic regardless of the
+	// pool size; this only trades memory for wall-clock time.
+	SuiteWorkers int `json:"suite_workers"`
+
 	// SourceWindow caps outstanding (undelivered) packets per source
 	// node; injection stalls at the cap, modeling cores blocking on
 	// outstanding transactions. This is what lets a slow network stretch
@@ -230,6 +236,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: unknown routing %q", c.Routing)
 	case c.VCsPerPort < 2:
 		return fmt.Errorf("config: need at least 2 VCs per port (data + control), got %d", c.VCsPerPort)
+	case c.VCsPerPort > 12:
+		// The routers track buffer occupancy in a single 64-bit mask of
+		// ports x VCs slots (5 ports x 12 VCs = 60 bits).
+		return fmt.Errorf("config: at most 12 VCs per port supported, got %d", c.VCsPerPort)
 	case c.VCDepth < 1:
 		return fmt.Errorf("config: VC depth must be positive, got %d", c.VCDepth)
 	case c.PipelineDepth < 1:
@@ -250,6 +260,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: phase lengths must be non-negative")
 	case c.SourceWindow < 0:
 		return fmt.Errorf("config: source window must be non-negative, got %d", c.SourceWindow)
+	case c.SuiteWorkers < 0:
+		return fmt.Errorf("config: suite workers must be non-negative, got %d", c.SuiteWorkers)
 	}
 	if err := c.Fault.validate(); err != nil {
 		return err

@@ -95,6 +95,14 @@ func New(cfg config.FaultConfig, voltageV float64, numLinks int, seed int64) (*M
 // utilization (flits/cycle in [0,1]). relaxed applies the Mode 3 timing
 // relaxation, which scales the probability by the configured RelaxedScale.
 func (m *Model) ErrorProbability(link int, tempC, utilization float64, relaxed bool) float64 {
+	return m.finish(m.rawProbability(link, tempC, utilization), relaxed)
+}
+
+// rawProbability is the expensive analytic kernel (Pow + Erf): the link
+// error probability before mode relaxation and clamping. Split out so
+// Table can memoize it per link; the raw value depends only on
+// (link, tempC, utilization), while relaxation is a cheap per-mode scale.
+func (m *Model) rawProbability(link int, tempC, utilization float64) float64 {
 	mu := m.mu0 * (1 + m.kT*(tempC-m.tRef)) * (1 + m.kU*utilization)
 	if link >= 0 && link < len(m.linkFactor) {
 		mu *= m.linkFactor[link]
@@ -106,7 +114,13 @@ func (m *Model) ErrorProbability(link int, tempC, utilization float64, relaxed b
 	} else {
 		pPath = 1 - normalCDF(slack/m.sigma)
 	}
-	p := 1 - math.Pow(1-pPath, float64(m.nCrit))
+	return 1 - math.Pow(1-pPath, float64(m.nCrit))
+}
+
+// finish applies the Mode 3 relaxation scale and the probability clamps to
+// a raw kernel value, in the exact operation order of the original
+// single-function implementation (relax, then upper clamp, then lower).
+func (m *Model) finish(p float64, relaxed bool) float64 {
 	if relaxed {
 		p *= m.relaxScale
 	}

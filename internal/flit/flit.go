@@ -160,6 +160,14 @@ type Flit struct {
 	// snooper; later snoopers then skip re-blaming their (innocent)
 	// upstream neighbors. One extra bit on the flit wires.
 	Tainted bool
+
+	// Dirty marks a payload that may differ from the packet's pristine
+	// copy: fault injection flipped bits on this flit (or an ancestor it
+	// was cloned from) at some hop. A clean flit's payload provably
+	// matches its CRC, so checkers skip the CRC-16 recomputation
+	// entirely — a simulator-level shortcut with no hardware analogue
+	// (hardware always checks; the simulator knows where it injected).
+	Dirty bool
 }
 
 // Clone returns a deep copy of the flit (packets are shared). Used by
@@ -179,6 +187,7 @@ func (f *Flit) RestorePayload() {
 	f.CRC = f.Packet.CRCs[f.Seq]
 	f.ECCValid = false
 	f.Tainted = false
+	f.Dirty = false
 }
 
 func (f *Flit) String() string {

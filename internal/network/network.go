@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"rlnoc/internal/coding"
@@ -44,6 +45,7 @@ type Network struct {
 	nis     []*NI
 
 	faults *fault.Model
+	ftab   *fault.Table
 	grid   *thermal.Grid
 	meter  *power.Meter
 	stats  *stats.Collector
@@ -67,6 +69,16 @@ type Network struct {
 	inputUsed    [topology.NumPorts]bool
 	lastProgress int64
 	lastDelivery int64
+
+	// Activity sets: Step's per-cycle phases iterate these instead of
+	// every router/NI. wireActive covers phase 1 (arrivals, ACKs,
+	// credits, VC releases), niActive phase 2 (injection), pipeActive
+	// phases 3-4 (RC/VA/SA). dense forces the original full scans — the
+	// referee path for the active-set equivalence tests.
+	wireActive activeSet
+	niActive   activeSet
+	pipeActive activeSet
+	dense      bool
 
 	// fpool recycles retired flits (delivered, dropped, or ACKed out of a
 	// retransmission buffer) back into the clone/packetization sites,
@@ -136,6 +148,7 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		routers:       make([]*Router, n),
 		nis:           make([]*NI, n),
 		faults:        faults,
+		ftab:          fault.NewTable(faults, n*4),
 		grid:          grid,
 		meter:         power.NewMeter(power.DefaultParams().Scaled(cfg.VoltageV), n),
 		stats:         stats.New(n),
@@ -155,7 +168,15 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		epochLats:       make([]float64, n),
 		epochPowers:     make([]float64, n),
 		epochCtrlPowers: make([]float64, n),
+
+		wireActive: newActiveSet(n),
+		niActive:   newActiveSet(n),
+		pipeActive: newActiveSet(n),
 	}
+	// Everything starts active; the first cycles prune whatever is quiet.
+	net.wireActive.addAll(n)
+	net.niActive.addAll(n)
+	net.pipeActive.addAll(n)
 	if net.dataVCs < 1 {
 		net.dataVCs = 1
 	}
@@ -167,7 +188,7 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 	for id := 0; id < n; id++ {
 		r := net.routers[id]
 		for dir := topology.Direction(0); dir < topology.NumPorts; dir++ {
-			p := &outputPort{dir: dir, downstream: -1, resendIdx: -1}
+			p := &outputPort{dir: dir, owner: id, downstream: -1, resendIdx: -1}
 			if dir != topology.Local {
 				if nb, ok := mesh.Neighbor(id, dir); ok {
 					p.downstream = nb
@@ -195,6 +216,34 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 	}
 	net.refreshErrorProbabilities()
 	return net, nil
+}
+
+// markWire records that router id has (or may soon have) wire-phase work:
+// in-flight flits, pending ACKs or credit returns.
+func (n *Network) markWire(id int) { n.wireActive.add(id) }
+
+// markPipe records that router id has (or may soon have) pipeline work:
+// an occupied input VC, a pending retransmission or a mode switch.
+func (n *Network) markPipe(id int) { n.pipeActive.add(id) }
+
+// markNI records that NI id has injection work queued.
+func (n *Network) markNI(id int) { n.niActive.add(id) }
+
+// SetDenseScan toggles the original dense O(routers x ports x VCs) phase
+// scans. The dense path is kept as the referee for the active-set
+// implementation: both must produce bit-identical results at a fixed seed
+// (TestActiveSetMatchesDenseScan). Marking stays on while dense, so
+// switching back to active-set stepping is safe at any cycle boundary;
+// the sets are conservatively refilled here anyway in case a caller
+// toggles mid-run after constructing state by other means.
+func (n *Network) SetDenseScan(dense bool) {
+	n.dense = dense
+	if !dense {
+		routers := n.mesh.Nodes()
+		n.wireActive.addAll(routers)
+		n.niActive.addAll(routers)
+		n.pipeActive.addAll(routers)
+	}
 }
 
 // Stats exposes the collector.
@@ -340,6 +389,9 @@ func (n *Network) applyMode(id int, m Mode) {
 			p.trySwitchMode()
 		}
 	}
+	// A still-pending switch must be retried by the SA stage each cycle
+	// until the channel drains; marking unconditionally is harmless.
+	n.markPipe(id)
 }
 
 // applyPortModes sets per-channel operation modes (PortController path).
@@ -367,6 +419,7 @@ func (n *Network) applyPortModes(id int, pm [4]Mode) {
 		}
 	}
 	n.modes[id] = report
+	n.markPipe(id) // as in applyMode: pending switches need SA visits
 }
 
 // eccFraction returns the share of router id's ECC codecs currently
@@ -410,7 +463,10 @@ func (n *Network) refreshErrorProbabilities() {
 				util = 1
 			}
 			linkID := id*4 + int(dir-topology.North)
-			p.errProb = n.faults.ErrorProbability(linkID, temp, util, p.mode == Mode3)
+			// The memo table recomputes the Pow/Erf kernel only when the
+			// link's (temperature, utilization) pair actually changed —
+			// idle windows and a converged thermal grid hit the cache.
+			p.errProb = n.ftab.ErrorProbability(linkID, temp, util, p.mode == Mode3)
 		}
 	}
 }
@@ -422,37 +478,70 @@ func (n *Network) Step() error {
 	n.cycle++
 	cycle := n.cycle
 
-	// 1. Arrivals, ACK/NACK wires and credit returns.
-	for _, r := range n.routers {
-		for dir := topology.Direction(0); dir < topology.NumPorts; dir++ {
-			p := r.outputs[dir]
-			if len(p.inflight) > 0 {
-				n.processArrivals(r, p)
-			}
-			if len(p.acks) > 0 {
-				n.processAcks(r, p)
-			}
-			if len(p.credRet) > 0 {
-				n.processCredits(p)
-			}
-			n.releaseVCs(p)
+	if n.dense {
+		// Referee path: the original dense scans, every router and NI
+		// every cycle.
+
+		// 1. Arrivals, ACK/NACK wires and credit returns.
+		for _, r := range n.routers {
+			n.stepWires(r)
 		}
-	}
 
-	// 2. NI injection.
-	for _, ni := range n.nis {
-		ni.inject(cycle)
-	}
+		// 2. NI injection.
+		for _, ni := range n.nis {
+			ni.inject(cycle)
+		}
 
-	// 3. Route computation and VC allocation.
-	for _, r := range n.routers {
-		n.routeAndAllocate(r)
-	}
+		// 3. Route computation and VC allocation.
+		for _, r := range n.routers {
+			n.routeAndAllocateDense(r)
+		}
 
-	// 4. Switch allocation, switch traversal and link transmission
-	// (including pending go-back-N retransmissions, which have priority).
-	for _, r := range n.routers {
-		n.switchAllocate(r)
+		// 4. Switch allocation, switch traversal and link transmission
+		// (including pending go-back-N retransmissions, which have
+		// priority).
+		for _, r := range n.routers {
+			n.switchAllocateDense(r)
+		}
+	} else {
+		// Activity-proportional path: identical phase bodies over the
+		// active sets only. Set iteration is in ascending ID order — the
+		// dense scan order — and a member is dropped only once its phase
+		// handler ran and left it quiet, so RNG draws, meter charges and
+		// arbitration decisions match the dense path bit for bit.
+
+		// 1. Arrivals, ACK/NACK wires and credit returns.
+		n.wireActive.forEach(func(id int) {
+			r := n.routers[id]
+			n.stepWires(r)
+			if r.wiresQuiet() {
+				n.wireActive.remove(id)
+			}
+		})
+
+		// 2. NI injection.
+		n.niActive.forEach(func(id int) {
+			ni := n.nis[id]
+			ni.inject(cycle)
+			if ni.quiet() {
+				n.niActive.remove(id)
+			}
+		})
+
+		// 3. Route computation and VC allocation. Membership is shared
+		// with phase 4, which runs on the same snapshot and prunes.
+		n.pipeActive.forEach(func(id int) {
+			n.routeAndAllocate(n.routers[id])
+		})
+
+		// 4. Switch allocation, switch traversal and link transmission.
+		n.pipeActive.forEach(func(id int) {
+			r := n.routers[id]
+			n.switchAllocate(r)
+			if r.pipeQuiet() {
+				n.pipeActive.remove(id)
+			}
+		})
 	}
 
 	// 5. Periodic work: thermal solve and control epoch.
@@ -469,6 +558,24 @@ func (n *Network) Step() error {
 			cycle, n.dataInFlight, n.ctrlInFlight)
 	}
 	return nil
+}
+
+// stepWires runs the wire phase for one router: arrivals, ACK/NACK
+// processing, credit returns and VC releases on every port.
+func (n *Network) stepWires(r *Router) {
+	for dir := topology.Direction(0); dir < topology.NumPorts; dir++ {
+		p := r.outputs[dir]
+		if len(p.inflight) > 0 {
+			n.processArrivals(r, p)
+		}
+		if len(p.acks) > 0 {
+			n.processAcks(r, p)
+		}
+		if len(p.credRet) > 0 {
+			n.processCredits(p)
+		}
+		n.releaseVCs(p)
+	}
 }
 
 // processArrivals handles flits whose link traversal completes this cycle.
@@ -514,7 +621,10 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
 		// reliability term of its reward, restoring the error visibility
 		// that disabling the ECC decoders would otherwise destroy.
 		n.meter.CRCCheck(down.id)
-		if !wf.f.Tainted && coding.CRC16Words(wf.f.Payload[:]) != wf.f.CRC {
+		// A flit never touched by fault injection provably matches its
+		// source CRC; skip recomputing it (the check energy is charged
+		// above either way).
+		if !wf.f.Tainted && wf.f.Dirty && coding.CRC16Words(wf.f.Payload[:]) != wf.f.CRC {
 			// First detection: blame the link that actually corrupted it;
 			// the taint bit stops later hops from re-blaming innocents.
 			wf.f.Tainted = true
@@ -526,7 +636,12 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
 	}
 	if wf.eccValid {
 		n.meter.ECCDecode(down.id)
-		if wf.f.Packet.Kind == flit.Data {
+		// The SECDED word loop only matters if this traversal corrupted
+		// the copy: the check bits cover the payload exactly as it left
+		// the encoder, so a clean copy decodes to "OK" on every word.
+		// The decode energy above is charged unconditionally, as in
+		// hardware (and as in the dense referee path).
+		if wf.f.Packet.Kind == flit.Data && wf.corrupted {
 			corrected := false
 			for w := 0; w < flit.WordsPerFlit; w++ {
 				word, res := coding.DecodeSECDED(wf.f.Payload[w], wf.f.ECCCheck[w])
@@ -572,6 +687,7 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
 			down.id, p.inPort, wf.f.VC))
 	}
 	vcBuf.push(wf.f, cycle+pipelineFill)
+	n.markPipe(down.id)
 	n.meter.BufferWrite(down.id)
 	n.stats.RouterFlitIn(down.id)
 	down.winFlitsIn++
@@ -600,6 +716,8 @@ func (n *Network) processAcks(r *Router, p *outputPort) {
 					break
 				}
 			}
+			// The SA stage services pending retransmissions; wake it.
+			n.markPipe(r.id)
 			continue
 		}
 		// Cumulative ACK: drop acknowledged entries from the front. The
@@ -657,9 +775,100 @@ func (n *Network) releaseVCs(p *outputPort) {
 	}
 }
 
+// routeCompute runs the RC stage body for one input VC holding an
+// unrouted head flit at its front.
+func (n *Network) routeCompute(r *Router, vc *inputVC, front *bufFlit) {
+	pkt := front.f.Packet
+	if n.adaptive {
+		vc.outPort = n.routeAdaptive(r, pkt)
+	} else {
+		vc.outPort = n.route(n.mesh, r.id, pkt.Dst)
+	}
+	vc.routed = true
+	// Record the head's path for latency attribution (exact even
+	// under adaptive routing).
+	if k := len(pkt.Path); k == 0 || pkt.Path[k-1] != r.id {
+		pkt.Path = append(pkt.Path, r.id)
+	}
+	if vc.outPort == topology.Local {
+		vc.outVC = 0 // ejection needs no VC arbitration
+	}
+}
+
+// vaTryGrant runs the VA stage body for candidate slot idx competing for
+// output port out; it reports whether a grant was issued.
+func (n *Network) vaTryGrant(r *Router, op *outputPort, out topology.Direction, idx, vcs int) bool {
+	port := topology.Direction(idx / vcs)
+	vc := r.inputs[port][idx%vcs]
+	front := vc.front()
+	if front == nil || !vc.routed || vc.outVC != -1 || vc.outPort != out {
+		return false
+	}
+	lo, hi := n.vcRange(front.f.Packet.Kind != flit.Data)
+	grant := op.freeVC(lo, hi)
+	if grant < 0 {
+		return false
+	}
+	vc.outVC = grant
+	op.vcBusy[grant] = true
+	n.meter.Arbitration(r.id)
+	r.vaRR[out] = idx + 1
+	return true
+}
+
 // routeAndAllocate performs the RC and VA stages for head flits at the
-// front of their VCs.
+// front of their VCs, visiting only occupied VCs via the router's
+// occupancy mask. Bit order equals the dense (port, vc) scan order, and
+// the round-robin scans rotate over the same slot numbering, so every
+// decision matches routeAndAllocateDense exactly.
 func (n *Network) routeAndAllocate(r *Router) {
+	if r.occMask == 0 {
+		return
+	}
+	vcs := len(r.inputs[0])
+	// RC: compute output port for unrouted heads.
+	for m := r.occMask; m != 0; {
+		slot := bits.TrailingZeros64(m)
+		m &^= 1 << uint(slot)
+		vc := r.inputs[slot/vcs][slot%vcs]
+		front := vc.front()
+		if front == nil || vc.routed || !front.f.Type.IsHead() {
+			continue
+		}
+		n.routeCompute(r, vc, front)
+	}
+	// VA: one grant per output port per cycle, round-robin. The two-pass
+	// rotated mask walk visits exactly the occupied slots the dense scan
+	// (start+k)%total would have visited, in the same order.
+	total := int(topology.NumPorts) * vcs
+	for out := topology.North; out < topology.NumPorts; out++ {
+		op := r.outputs[out]
+		if !op.hasDownstream() {
+			continue
+		}
+		start := r.vaRR[out] % total
+		lowMask := uint64(1)<<uint(start) - 1
+		for m := r.occMask &^ lowMask; m != 0; { // slots start..total-1
+			idx := bits.TrailingZeros64(m)
+			m &^= 1 << uint(idx)
+			if n.vaTryGrant(r, op, out, idx, vcs) {
+				goto nextOut
+			}
+		}
+		for m := r.occMask & lowMask; m != 0; { // wrapped slots 0..start-1
+			idx := bits.TrailingZeros64(m)
+			m &^= 1 << uint(idx)
+			if n.vaTryGrant(r, op, out, idx, vcs) {
+				break
+			}
+		}
+	nextOut:
+	}
+}
+
+// routeAndAllocateDense is the original full scan over all ports x VCs —
+// the referee implementation for routeAndAllocate.
+func (n *Network) routeAndAllocateDense(r *Router) {
 	// RC: compute output port for unrouted heads.
 	for port := topology.Direction(0); port < topology.NumPorts; port++ {
 		for _, vc := range r.inputs[port] {
@@ -667,21 +876,7 @@ func (n *Network) routeAndAllocate(r *Router) {
 			if front == nil || vc.routed || !front.f.Type.IsHead() {
 				continue
 			}
-			pkt := front.f.Packet
-			if n.adaptive {
-				vc.outPort = n.routeAdaptive(r, pkt)
-			} else {
-				vc.outPort = n.route(n.mesh, r.id, pkt.Dst)
-			}
-			vc.routed = true
-			// Record the head's path for latency attribution (exact even
-			// under adaptive routing).
-			if k := len(pkt.Path); k == 0 || pkt.Path[k-1] != r.id {
-				pkt.Path = append(pkt.Path, r.id)
-			}
-			if vc.outPort == topology.Local {
-				vc.outVC = 0 // ejection needs no VC arbitration
-			}
+			n.routeCompute(r, vc, front)
 		}
 	}
 	// VA: one grant per output port per cycle, round-robin.
@@ -694,23 +889,9 @@ func (n *Network) routeAndAllocate(r *Router) {
 		total := int(topology.NumPorts) * vcs
 		start := r.vaRR[out]
 		for k := 0; k < total; k++ {
-			idx := (start + k) % total
-			port := topology.Direction(idx / vcs)
-			vc := r.inputs[port][idx%vcs]
-			front := vc.front()
-			if front == nil || !vc.routed || vc.outVC != -1 || vc.outPort != out {
-				continue
+			if n.vaTryGrant(r, op, out, (start+k)%total, vcs) {
+				break
 			}
-			lo, hi := n.vcRange(front.f.Packet.Kind != flit.Data)
-			grant := op.freeVC(lo, hi)
-			if grant < 0 {
-				continue
-			}
-			vc.outVC = grant
-			op.vcBusy[grant] = true
-			n.meter.Arbitration(r.id)
-			r.vaRR[out] = idx + 1
-			break
 		}
 	}
 }
@@ -750,55 +931,109 @@ func (n *Network) routeAdaptive(r *Router, pkt *flit.Packet) topology.Direction 
 	return best
 }
 
+// saPortReady runs the per-output-port preamble of the SA stage:
+// retransmission service and pending mode switches. It reports whether
+// the port may grant a new flit this cycle.
+func (n *Network) saPortReady(r *Router, op *outputPort) bool {
+	if op.dir != topology.Local && !op.hasDownstream() {
+		return false
+	}
+	if op.linkBusyUntil > n.cycle {
+		return false
+	}
+	// Retransmissions first: they own the channel until done.
+	if op.resendIdx >= 0 {
+		n.retransmit(r, op)
+		return false
+	}
+	// A pending mode switch pauses new grants until the ARQ state
+	// drains (a few cycles), then takes effect.
+	if op.dir != topology.Local && op.switchPending() {
+		op.trySwitchMode()
+		if op.switchPending() {
+			return false
+		}
+	}
+	return true
+}
+
+// saTryGrant runs the SA stage body for candidate slot idx competing for
+// output port out; it reports whether the flit was granted and sent.
+func (n *Network) saTryGrant(r *Router, op *outputPort, out topology.Direction, idx, vcs int) bool {
+	port := topology.Direction(idx / vcs)
+	if n.inputUsed[port] {
+		return false
+	}
+	vc := r.inputs[port][idx%vcs]
+	front := vc.front()
+	if front == nil || !vc.routed || vc.outVC < 0 || vc.outPort != out || front.ready > n.cycle {
+		return false
+	}
+	if out != topology.Local && op.credits[vc.outVC] <= 0 {
+		return false
+	}
+	n.inputUsed[port] = true
+	r.saRR[out] = idx + 1
+	n.grantAndSend(r, port, vc, op)
+	return true
+}
+
 // switchAllocate performs SA and ST: it first services pending go-back-N
 // retransmissions, then grants at most one flit per output port and one
-// per input port.
+// per input port. Like routeAndAllocate, it walks only occupied VC slots
+// via the occupancy mask, in dense round-robin order.
 func (n *Network) switchAllocate(r *Router) {
+	for i := range n.inputUsed {
+		n.inputUsed[i] = false
+	}
+	vcs := len(r.inputs[0])
+	total := int(topology.NumPorts) * vcs
+	for out := topology.Direction(0); out < topology.NumPorts; out++ {
+		op := r.outputs[out]
+		if !n.saPortReady(r, op) {
+			continue
+		}
+		if r.occMask == 0 {
+			continue
+		}
+		start := r.saRR[out] % total
+		lowMask := uint64(1)<<uint(start) - 1
+		for m := r.occMask &^ lowMask; m != 0; { // slots start..total-1
+			idx := bits.TrailingZeros64(m)
+			m &^= 1 << uint(idx)
+			if n.saTryGrant(r, op, out, idx, vcs) {
+				goto nextOut
+			}
+		}
+		for m := r.occMask & lowMask; m != 0; { // wrapped slots 0..start-1
+			idx := bits.TrailingZeros64(m)
+			m &^= 1 << uint(idx)
+			if n.saTryGrant(r, op, out, idx, vcs) {
+				break
+			}
+		}
+	nextOut:
+	}
+}
+
+// switchAllocateDense is the original full scan over all ports x VCs —
+// the referee implementation for switchAllocate.
+func (n *Network) switchAllocateDense(r *Router) {
 	for i := range n.inputUsed {
 		n.inputUsed[i] = false
 	}
 	vcs := len(r.inputs[0])
 	for out := topology.Direction(0); out < topology.NumPorts; out++ {
 		op := r.outputs[out]
-		if op.dir != topology.Local && !op.hasDownstream() {
+		if !n.saPortReady(r, op) {
 			continue
-		}
-		if op.linkBusyUntil > n.cycle {
-			continue
-		}
-		// Retransmissions first: they own the channel until done.
-		if op.resendIdx >= 0 {
-			n.retransmit(r, op)
-			continue
-		}
-		// A pending mode switch pauses new grants until the ARQ state
-		// drains (a few cycles), then takes effect.
-		if op.dir != topology.Local && op.switchPending() {
-			op.trySwitchMode()
-			if op.switchPending() {
-				continue
-			}
 		}
 		total := int(topology.NumPorts) * vcs
 		start := r.saRR[out]
 		for k := 0; k < total; k++ {
-			idx := (start + k) % total
-			port := topology.Direction(idx / vcs)
-			if n.inputUsed[port] {
-				continue
+			if n.saTryGrant(r, op, out, (start+k)%total, vcs) {
+				break
 			}
-			vc := r.inputs[port][idx%vcs]
-			front := vc.front()
-			if front == nil || !vc.routed || vc.outVC < 0 || vc.outPort != out || front.ready > n.cycle {
-				continue
-			}
-			if out != topology.Local && op.credits[vc.outVC] <= 0 {
-				continue
-			}
-			n.inputUsed[port] = true
-			r.saRR[out] = idx + 1
-			n.grantAndSend(r, port, vc, op)
-			break
 		}
 	}
 }
@@ -824,6 +1059,7 @@ func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC
 		if up, ok := n.mesh.Neighbor(r.id, inPort); ok {
 			upPort := n.routers[up].outputs[inPort.Opposite()]
 			upPort.credRet = append(upPort.credRet, wireCredit{vc: f.VC, deliver: n.cycle + 1})
+			n.markWire(up)
 		}
 	} else if f.Type.IsTail() {
 		n.nis[r.id].releaseLocalVC(f.VC)
@@ -842,6 +1078,7 @@ func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC
 		// Ejection: one cycle to the NI, no faults, no ARQ.
 		op.inflight = append(op.inflight, wireFlit{f: f, arrive: n.cycle + 1})
 		op.linkBusyUntil = n.cycle + 1
+		n.markWire(op.owner)
 		return
 	}
 
@@ -862,9 +1099,12 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 
 	eccOn := mode.ECCOn()
 	if eccOn {
-		for w := 0; w < flit.WordsPerFlit; w++ {
-			f.ECCCheck[w] = coding.EncodeSECDED(f.Payload[w])
-		}
+		// The SECDED check bits are materialized lazily: only if fault
+		// injection actually corrupts a wire copy does corrupt() encode
+		// them (over the pre-corruption payload, exactly what an eager
+		// encoder would have produced). A clean traversal never reads
+		// them, so the encode compute is skipped while the encoder
+		// energy is charged as before.
 		f.ECCValid = true
 		n.meter.ECCEncode(r.id)
 		// The retransmission buffer keeps f itself as the clean copy (it
@@ -881,8 +1121,9 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 	if eccOn {
 		wire = n.fpool.Clone(f) // the unacked entry keeps the pristine flit
 	}
-	n.corrupt(r, op, wire)
-	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: seq, eccValid: eccOn, dupFollows: mode == Mode2})
+	hit := n.corrupt(r, op, wire, eccOn)
+	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: seq, eccValid: eccOn,
+		dupFollows: mode == Mode2, corrupted: hit})
 	n.meter.Link(r.id)
 	n.stats.RouterFlitOut(r.id)
 	op.winSent++
@@ -892,8 +1133,9 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 
 	if mode == Mode2 {
 		dup := n.fpool.Clone(op.unacked[len(op.unacked)-1].f)
-		n.corrupt(r, op, dup)
-		n.pushWire(op, wireFlit{f: dup, arrive: arrive + 1, seq: seq, eccValid: true, isDup: true})
+		hit := n.corrupt(r, op, dup, true)
+		n.pushWire(op, wireFlit{f: dup, arrive: arrive + 1, seq: seq, eccValid: true,
+			isDup: true, corrupted: hit})
 		n.meter.Link(r.id)
 		n.stats.Measuref(func(c *statsCollector) { c.PreRetransmissions++ })
 	}
@@ -911,11 +1153,12 @@ func (n *Network) retransmit(r *Router, op *outputPort) {
 		op.resendIdx = -1
 	}
 	wire := n.fpool.Clone(e.f)
-	n.corrupt(r, op, wire)
+	hit := n.corrupt(r, op, wire, true)
 	// Retransmissions go out singly (no Mode 2 duplicate) with the ECC
 	// stage enabled — only ECC-protected flits can be NACKed.
 	arrive := n.cycle + 2 // link + ECC stage
-	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: e.seq, eccValid: true, isRetx: true})
+	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: e.seq, eccValid: true,
+		isRetx: true, corrupted: hit})
 	op.linkBusyUntil = n.cycle + 1
 	n.meter.Link(r.id)
 	n.stats.Measuref(func(c *statsCollector) { c.LinkRetransmissions++ })
@@ -931,22 +1174,37 @@ func (n *Network) pushWire(op *outputPort, wf wireFlit) {
 		wf.arrive = op.inflight[k-1].arrive + 1
 	}
 	op.inflight = append(op.inflight, wf)
+	n.markWire(op.owner)
 }
 
-// corrupt samples the link's timing-error process and flips payload bits.
-// Control packets ride error-hardened signaling and are never corrupted
-// (the paper's ACK wires are likewise assumed error-free).
-func (n *Network) corrupt(r *Router, op *outputPort, f *flit.Flit) {
+// corrupt samples the link's timing-error process and flips payload bits,
+// reporting whether the flit was hit. Control packets ride error-hardened
+// signaling and are never corrupted (the paper's ACK wires are likewise
+// assumed error-free). The RNG draw happens for every Data flit even at
+// errProb zero — the determinism pin fixes the draw sequence, so skipping
+// a draw would shift every later sample.
+//
+// eccPending asks corrupt to materialize the flit's SECDED check bits
+// (deferred by transmit) over the pre-corruption payload before flipping,
+// preserving what an eager encoder would have stored.
+func (n *Network) corrupt(r *Router, op *outputPort, f *flit.Flit, eccPending bool) bool {
 	if f.Packet.Kind != flit.Data {
-		return
+		return false
 	}
-	bits := n.faults.SampleErrorBits(n.rng, op.errProb)
-	if bits == 0 {
-		return
+	nbits := n.faults.SampleErrorBits(n.rng, op.errProb)
+	if nbits == 0 {
+		return false
 	}
-	fault.FlipBits(n.rng, f.Payload[:], bits)
+	if eccPending {
+		for w := 0; w < flit.WordsPerFlit; w++ {
+			f.ECCCheck[w] = coding.EncodeSECDED(f.Payload[w])
+		}
+	}
+	fault.FlipBits(n.rng, f.Payload[:], nbits)
+	f.Dirty = true
 	n.stats.Measuref(func(c *statsCollector) { c.ErrorsInjected++ })
 	r.winErrEvents++
+	return true
 }
 
 // thermalStep feeds the window's power into the RC grid, charges leakage

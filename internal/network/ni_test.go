@@ -113,6 +113,7 @@ func TestNIReassemblyDetectsCorruption(t *testing.T) {
 	f1 := &flit.Flit{Packet: pkt, Seq: 1, Type: flit.Tail}
 	f1.RestorePayload()
 	f1.Payload[0] ^= 1 << 9 // in-flight corruption
+	f1.Dirty = true         // fault injection always marks flipped payloads
 
 	n.stats.SetMeasuring(true)
 	ni.receive(f0, 100)

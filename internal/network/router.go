@@ -1,6 +1,8 @@
 package network
 
 import (
+	"math/bits"
+
 	"rlnoc/internal/flit"
 	"rlnoc/internal/topology"
 )
@@ -19,6 +21,13 @@ type inputVC struct {
 	buf []bufFlit
 	cap int
 
+	// owner is the router holding this VC; push and pop keep the owner's
+	// occupancy mask bit for slot in sync with the buffer.
+	owner *Router
+	// slot is this VC's index in the router's occupancy mask and in the
+	// VA/SA round-robin numbering: port*vcsPerPort + vcIndex.
+	slot int
+
 	// Route state for the resident packet.
 	routed  bool
 	outPort topology.Direction
@@ -30,6 +39,7 @@ func (vc *inputVC) full() bool  { return len(vc.buf) >= vc.cap }
 
 func (vc *inputVC) push(f *flit.Flit, ready int64) {
 	vc.buf = append(vc.buf, bufFlit{f: f, ready: ready})
+	vc.owner.occMask |= 1 << uint(vc.slot)
 }
 
 func (vc *inputVC) front() *bufFlit {
@@ -47,6 +57,9 @@ func (vc *inputVC) pop() *flit.Flit {
 	m := copy(vc.buf, vc.buf[1:])
 	vc.buf[m] = bufFlit{}
 	vc.buf = vc.buf[:m]
+	if m == 0 {
+		vc.owner.occMask &^= 1 << uint(vc.slot)
+	}
 	return f
 }
 
@@ -63,6 +76,12 @@ type wireFlit struct {
 	isDup bool
 	// isRetx marks a link-level (go-back-N) retransmission.
 	isRetx bool
+	// corrupted marks a copy whose payload was hit by fault injection on
+	// this traversal. A clean ECC-protected copy needs no SECDED decode:
+	// its check bits were (conceptually) computed over exactly this
+	// payload, so decoding is a guaranteed no-op and the downstream
+	// receiver skips the word loop. The decode energy is still charged.
+	corrupted bool
 }
 
 // wireAck is an ACK/NACK traveling upstream on the dedicated ack wires.
@@ -94,6 +113,7 @@ type txEntry struct {
 // are point-to-point).
 type outputPort struct {
 	dir        topology.Direction
+	owner      int // ID of the router owning this port (for activity marking)
 	downstream int // router ID, or -1 for ejection/edge
 	inPort     topology.Direction
 
@@ -168,6 +188,14 @@ type Router struct {
 	inputs  [topology.NumPorts][]*inputVC
 	outputs [topology.NumPorts]*outputPort
 
+	// occMask has bit (port*vcsPerPort + vc) set while that input VC
+	// holds flits. The RC/VA/SA stages iterate set bits instead of
+	// scanning all ports x VCs, and bit order equals the dense scan
+	// order, so arbitration outcomes are unchanged. Capacity bounds
+	// VCsPerPort at 12 (5 ports x 12 VCs = 60 bits; enforced by
+	// config.Validate).
+	occMask uint64
+
 	// saRR rotates switch-allocation priority across input (port, vc)
 	// pairs per output port.
 	saRR [topology.NumPorts]int
@@ -184,23 +212,46 @@ func newRouter(id int, vcs, vcDepth int) *Router {
 	for port := topology.Direction(0); port < topology.NumPorts; port++ {
 		r.inputs[port] = make([]*inputVC, vcs)
 		for v := 0; v < vcs; v++ {
-			r.inputs[port][v] = &inputVC{buf: make([]bufFlit, 0, vcDepth), cap: vcDepth, outVC: -1}
+			r.inputs[port][v] = &inputVC{buf: make([]bufFlit, 0, vcDepth), cap: vcDepth,
+				owner: r, slot: int(port)*vcs + v, outVC: -1}
 		}
 	}
 	return r
 }
 
-// occupiedVCs counts input VCs currently holding flits (Table I feature 1).
-func (r *Router) occupiedVCs() int {
-	n := 0
-	for port := topology.Direction(0); port < topology.NumPorts; port++ {
-		for _, vc := range r.inputs[port] {
-			if !vc.empty() {
-				n++
-			}
+// wiresQuiet reports that no port of the router has wire-phase work: no
+// in-flight flits, no pending ACK/NACKs, no credit returns. VC releases
+// (vcPendingFree) need no separate term: the conditions releaseVCs waits
+// on (credits refilled, retransmission buffer drained) can only become
+// true through an ACK or credit arriving on these wires, which re-adds
+// the router and releaseVCs runs in that same visit.
+func (r *Router) wiresQuiet() bool {
+	for _, p := range r.outputs {
+		if len(p.inflight) > 0 || len(p.acks) > 0 || len(p.credRet) > 0 {
+			return false
 		}
 	}
-	return n
+	return true
+}
+
+// pipeQuiet reports that the RC/VA/SA stages have nothing to do: every
+// input VC is empty and no output port is waiting to service a go-back-N
+// retransmission or apply a pending mode switch.
+func (r *Router) pipeQuiet() bool {
+	if r.occMask != 0 {
+		return false
+	}
+	for _, p := range r.outputs {
+		if p.resendIdx >= 0 || p.switchPending() {
+			return false
+		}
+	}
+	return true
+}
+
+// occupiedVCs counts input VCs currently holding flits (Table I feature 1).
+func (r *Router) occupiedVCs() int {
+	return bits.OnesCount64(r.occMask)
 }
 
 func (r *Router) totalVCs() int {

@@ -8,7 +8,7 @@ import (
 )
 
 func TestInputVCFIFO(t *testing.T) {
-	vc := &inputVC{cap: 2, outVC: -1}
+	vc := &inputVC{cap: 2, owner: &Router{}, outVC: -1}
 	if !vc.empty() || vc.full() {
 		t.Fatal("fresh VC state wrong")
 	}

@@ -26,6 +26,11 @@ type Grid struct {
 	temp []float64
 	// scratch holds per-step temperature deltas.
 	scratch []float64
+	// version counts Step calls that changed at least one temperature
+	// bit. Near equilibrium the Euler deltas underflow the float64
+	// accumulation and the grid stops moving; downstream caches (the
+	// fault-probability memo) use Version to observe that convergence.
+	version int64
 }
 
 // NewGrid builds a thermal grid over the mesh with every tile at the
@@ -91,13 +96,22 @@ func (g *Grid) Step(powerW []float64, dtSeconds float64) error {
 		steps = 1
 	}
 	h := dtSeconds / float64(steps)
+	changed := false
 	for s := 0; s < steps; s++ {
-		g.substep(powerW, h)
+		if g.substep(powerW, h) {
+			changed = true
+		}
+	}
+	if changed {
+		g.version++
 	}
 	return nil
 }
 
-func (g *Grid) substep(powerW []float64, h float64) {
+// Version returns the number of Step calls that moved any temperature.
+func (g *Grid) Version() int64 { return g.version }
+
+func (g *Grid) substep(powerW []float64, h float64) bool {
 	for i := range g.temp {
 		flow := powerW[i] - (g.temp[i]-g.cfg.AmbientC)/g.cfg.RThetaJA
 		for _, d := range []topology.Direction{topology.North, topology.South, topology.East, topology.West} {
@@ -107,9 +121,15 @@ func (g *Grid) substep(powerW []float64, h float64) {
 		}
 		g.scratch[i] = h * flow / g.cfg.CThermal
 	}
+	changed := false
 	for i := range g.temp {
-		g.temp[i] += g.scratch[i]
+		next := g.temp[i] + g.scratch[i]
+		if next != g.temp[i] {
+			g.temp[i] = next
+			changed = true
+		}
 	}
+	return changed
 }
 
 // SteadyState returns the equilibrium temperatures for a constant power
