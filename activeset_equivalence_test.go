@@ -31,7 +31,7 @@ func runWithScan(t *testing.T, scheme core.Scheme, dense bool) Result {
 	if err := sim.Pretrain(); err != nil {
 		t.Fatal(err)
 	}
-	events, err := traffic.Synthetic(sim.Network().Mesh(), traffic.Uniform, 0.02,
+	events, err := traffic.Synthetic(sim.Network().Topology(), traffic.Uniform, 0.02,
 		cfg.FlitsPerPacket, int64(cfg.MaxCycles), cfg.Seed+5)
 	if err != nil {
 		t.Fatal(err)

@@ -48,7 +48,7 @@ func benchmarkCycleLoopStatic(b *testing.B, mode network.Mode, rate float64) {
 
 func benchmarkCycleLoopSim(b *testing.B, cfg Config, sim *core.Sim, rate float64) {
 	net := sim.Network()
-	events, err := traffic.Synthetic(net.Mesh(), traffic.Uniform, rate,
+	events, err := traffic.Synthetic(net.Topology(), traffic.Uniform, rate,
 		cfg.FlitsPerPacket, int64(b.N)+2000, 1)
 	if err != nil {
 		b.Fatal(err)

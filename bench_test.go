@@ -131,7 +131,7 @@ func BenchmarkRouterCycle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	events, err := traffic.Synthetic(net.Mesh(), traffic.Uniform, 0.005,
+	events, err := traffic.Synthetic(net.Topology(), traffic.Uniform, 0.005,
 		cfg.FlitsPerPacket, int64(b.N)+1000, 1)
 	if err != nil {
 		b.Fatal(err)

@@ -71,15 +71,17 @@ type BenchBaseline struct {
 
 // benchScenario names one workload of the baseline sweep.
 type benchScenario struct {
-	name   string
-	rate   float64
-	scheme core.Scheme  // adaptive scheme, when static is false
-	static bool         // use a fixed-mode network instead of a scheme
-	mode   network.Mode // fixed mode, when static is true
+	name     string
+	rate     float64
+	scheme   core.Scheme  // adaptive scheme, when static is false
+	static   bool         // use a fixed-mode network instead of a scheme
+	mode     network.Mode // fixed mode, when static is true
+	topology string       // fabric override; empty keeps the config's fabric
 }
 
 // benchScenarios lists the full sweep: the four schemes at the baseline
-// rate, plus the idle and mode2-loaded brackets described above.
+// rate, the idle and mode2-loaded brackets described above, plus a torus
+// run so the wraparound fabric's routing/VC path stays on the perf radar.
 func benchScenarios() []benchScenario {
 	var scs []benchScenario
 	for _, scheme := range core.Schemes() {
@@ -88,6 +90,7 @@ func benchScenarios() []benchScenario {
 	scs = append(scs,
 		benchScenario{name: "idle", rate: 0, static: true, mode: network.Mode0},
 		benchScenario{name: "mode2-loaded", rate: benchLoadedRate, static: true, mode: network.Mode2},
+		benchScenario{name: "torus-rl", rate: benchRate, scheme: core.SchemeRL, topology: "torus"},
 	)
 	return scs
 }
@@ -110,6 +113,9 @@ func prepareBench(cfg rlnoc.Config, sc benchScenario, cycles int64) (*benchRun, 
 	if cycles < 1 {
 		return nil, fmt.Errorf("bench cycles must be positive, got %d", cycles)
 	}
+	if sc.topology != "" {
+		cfg.Topology = sc.topology
+	}
 	var (
 		sim *core.Sim
 		err error
@@ -123,7 +129,7 @@ func prepareBench(cfg rlnoc.Config, sc benchScenario, cycles int64) (*benchRun, 
 		return nil, err
 	}
 	net := sim.Network()
-	events, err := traffic.Synthetic(net.Mesh(), traffic.Uniform, sc.rate,
+	events, err := traffic.Synthetic(net.Topology(), traffic.Uniform, sc.rate,
 		cfg.FlitsPerPacket, benchWarmupCycles+cycles+1, 1)
 	if err != nil {
 		return nil, err
@@ -173,7 +179,7 @@ func (r *benchRun) measure() (SchemeBench, error) {
 	}
 	if wall > 0 {
 		b.CyclesPerSec = float64(r.cycles) / wall
-		b.RouterCyclesPerSec = b.CyclesPerSec * float64(r.net.Mesh().Nodes())
+		b.RouterCyclesPerSec = b.CyclesPerSec * float64(r.net.Topology().Nodes())
 	}
 	return b, nil
 }

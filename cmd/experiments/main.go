@@ -38,6 +38,7 @@ func run() error {
 		cfgPath    = flag.String("config", "", "JSON config file")
 		small      = flag.Bool("small", false, "use the 4x4 quick configuration (fast, noisier)")
 		seed       = flag.Int64("seed", 0, "override random seed")
+		topoFlag   = flag.String("topology", "", "fabric topology: mesh|torus (default: config)")
 		chart      = flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
 		seeds      = flag.Int("seeds", 1, "number of seeds to average figures over (mean +/- std)")
 		analytic   = flag.Bool("analytic", false, "print the closed-form mode cost model and crossover thresholds")
@@ -65,6 +66,12 @@ func run() error {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *topoFlag != "" {
+		cfg.Topology = *topoFlag
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
 	}
 	if *workers != 0 {
 		cfg.SuiteWorkers = *workers

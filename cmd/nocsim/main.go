@@ -39,6 +39,7 @@ func run() error {
 		seed       = flag.Int64("seed", 0, "override random seed (0 = keep config seed)")
 		errRate    = flag.Float64("error-rate", -1, "override base timing-error rate (-1 = keep config)")
 		routing    = flag.String("routing", "", "routing algorithm: xy|yx|westfirst (default: config)")
+		topoFlag   = flag.String("topology", "", "fabric topology: mesh|torus (default: config)")
 		small      = flag.Bool("small", false, "use the 4x4 quick configuration")
 		verbose    = flag.Bool("v", false, "print the error-control breakdown")
 		policy     = flag.Int("policy", 0, "print the N most-visited RL states with their Q-rows")
@@ -85,6 +86,12 @@ func run() error {
 			return err
 		}
 	}
+	if *topoFlag != "" {
+		cfg.Topology = *topoFlag
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
 	scheme, err := core.ParseScheme(*schemeFlag)
 	if err != nil {
 		return err
@@ -105,11 +112,11 @@ func run() error {
 		}
 		label = *traceFlag
 	case *pattern != "":
-		mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+		topo, err := topology.FromConfig(cfg)
 		if err != nil {
 			return err
 		}
-		events, err = traffic.Synthetic(mesh, traffic.Pattern(*pattern), *rate,
+		events, err = traffic.Synthetic(topo, traffic.Pattern(*pattern), *rate,
 			cfg.FlitsPerPacket, int64(cfg.MaxCycles), cfg.Seed+7)
 		if err != nil {
 			return err
@@ -124,11 +131,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+		topo, err := topology.FromConfig(cfg)
 		if err != nil {
 			return err
 		}
-		events, err = b.Trace(mesh, int64(cfg.MaxCycles), cfg.FlitsPerPacket, cfg.Seed*31+1300)
+		events, err = b.Trace(topo, int64(cfg.MaxCycles), cfg.FlitsPerPacket, cfg.Seed*31+1300)
 		if err != nil {
 			return err
 		}

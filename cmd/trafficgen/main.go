@@ -36,12 +36,22 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("out", "", "output file (default stdout)")
 		inspect   = flag.String("inspect", "", "validate and summarize an existing trace file")
-		width     = flag.Int("width", 8, "mesh width")
-		height    = flag.Int("height", 8, "mesh height")
+		width     = flag.Int("width", 8, "fabric width")
+		height    = flag.Int("height", 8, "fabric height")
+		topoFlag  = flag.String("topology", "mesh", "fabric topology: mesh|torus")
 	)
 	flag.Parse()
 
-	mesh, err := topology.NewMesh(*width, *height)
+	var mesh topology.Topology
+	var err error
+	switch *topoFlag {
+	case config.TopologyMesh:
+		mesh, err = topology.NewMesh(*width, *height)
+	case config.TopologyTorus:
+		mesh, err = topology.NewTorus(*width, *height)
+	default:
+		err = fmt.Errorf("unknown topology %q (want mesh|torus)", *topoFlag)
+	}
 	if err != nil {
 		return err
 	}

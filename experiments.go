@@ -351,7 +351,7 @@ func OverheadReport() string {
 func TableII(cfg Config) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Table II: simulation parameters")
-	fmt.Fprintf(&b, "cores / routers     %d (%dx%d 2D mesh)\n", cfg.Routers(), cfg.Width, cfg.Height)
+	fmt.Fprintf(&b, "cores / routers     %d (%dx%d 2D %s)\n", cfg.Routers(), cfg.Width, cfg.Height, cfg.TopologyKind())
 	fmt.Fprintf(&b, "routing             %s dimension-ordered\n", cfg.Routing)
 	fmt.Fprintf(&b, "router pipeline     %d stages, %d VCs/port, %d flits/VC\n",
 		cfg.PipelineDepth, cfg.VCsPerPort, cfg.VCDepth)

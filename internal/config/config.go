@@ -23,12 +23,21 @@ const (
 	RoutingWestFirst Routing = "westfirst"
 )
 
+// Supported fabric topologies (see internal/topology).
+const (
+	TopologyMesh  = "mesh"  // 2D mesh, the paper's fabric
+	TopologyTorus = "torus" // 2D torus: mesh with wraparound links
+)
+
 // Config collects every tunable of a simulation run. The zero value is not
 // usable; start from Default and override.
 type Config struct {
 	// Topology.
-	Width  int `json:"width"`  // mesh columns
-	Height int `json:"height"` // mesh rows
+	Width  int `json:"width"`  // fabric columns
+	Height int `json:"height"` // fabric rows
+	// Topology selects the fabric shape: "mesh" (default; empty means
+	// mesh) or "torus".
+	Topology string `json:"topology"`
 
 	Routing Routing `json:"routing"`
 
@@ -160,6 +169,7 @@ func Default() Config {
 	return Config{
 		Width:          8,
 		Height:         8,
+		Topology:       TopologyMesh,
 		Routing:        RoutingXY,
 		VCsPerPort:     4,
 		VCDepth:        4,
@@ -229,11 +239,21 @@ func Small() Config {
 func (c *Config) Validate() error {
 	switch {
 	case c.Width < 2 || c.Height < 2:
-		return fmt.Errorf("config: mesh must be at least 2x2, got %dx%d", c.Width, c.Height)
+		return fmt.Errorf("config: fabric must be at least 2x2, got %dx%d", c.Width, c.Height)
 	case c.Width > 64 || c.Height > 64:
-		return fmt.Errorf("config: mesh dimension above 64 unsupported, got %dx%d", c.Width, c.Height)
+		return fmt.Errorf("config: fabric dimension above 64 unsupported, got %dx%d", c.Width, c.Height)
+	case c.TopologyKind() != TopologyMesh && c.TopologyKind() != TopologyTorus:
+		return fmt.Errorf("config: unknown topology %q (want mesh|torus)", c.Topology)
 	case c.Routing != RoutingXY && c.Routing != RoutingYX && c.Routing != RoutingWestFirst:
 		return fmt.Errorf("config: unknown routing %q", c.Routing)
+	case c.TopologyKind() == TopologyTorus && c.Routing == RoutingWestFirst:
+		// The west-first turn model assumes a wrap-free grid; on a torus
+		// its cycles reappear through the wrap links.
+		return fmt.Errorf("config: westfirst routing is mesh-only; torus uses dimension-ordered routing")
+	case c.TopologyKind() == TopologyTorus && c.VCsPerPort < 4:
+		// The torus dateline rule halves each VC class (data, control)
+		// into wrap classes 0 and 1, so both halves need a VC.
+		return fmt.Errorf("config: torus needs at least 4 VCs per port for dateline classes, got %d", c.VCsPerPort)
 	case c.VCsPerPort < 2:
 		return fmt.Errorf("config: need at least 2 VCs per port (data + control), got %d", c.VCsPerPort)
 	case c.VCsPerPort > 12:
@@ -322,8 +342,18 @@ func (r *RLConfig) validate() error {
 	return nil
 }
 
-// Routers returns the number of routers in the mesh.
+// Routers returns the number of routers in the fabric.
 func (c *Config) Routers() int { return c.Width * c.Height }
+
+// TopologyKind returns the configured fabric kind, defaulting the empty
+// string to "mesh" so hand-built Configs that predate the field keep
+// working.
+func (c *Config) TopologyKind() string {
+	if c.Topology == "" {
+		return TopologyMesh
+	}
+	return c.Topology
+}
 
 // CyclePeriodNS returns the clock period in nanoseconds.
 func (c *Config) CyclePeriodNS() float64 { return 1.0 / c.FrequencyGHz }

@@ -4,6 +4,7 @@ import (
 	"rlnoc/internal/config"
 	"rlnoc/internal/network"
 	"rlnoc/internal/rl"
+	"rlnoc/internal/topology"
 )
 
 // RLPortController is the finer-granularity variant of the proposed
@@ -18,10 +19,12 @@ type RLPortController struct {
 	disc   rl.Discretizer
 }
 
-// NewRLPortController builds 4 agents per router (shared Q-table if
-// configured).
+// NewRLPortController builds one agent per output channel — the agent
+// table spans the same dense per-(router, port) slot space the fault
+// model keys on (topology.LinkSlots/LinkIndex) — with a shared Q-table
+// if configured.
 func NewRLPortController(cfg config.Config, routers int) *RLPortController {
-	n := routers * 4
+	n := topology.LinkSlots(routers)
 	var agents []*rl.Agent
 	if cfg.RL.SharedTable {
 		agents = rl.NewSharedAgents(cfg.RL, n, cfg.Seed*31+600)
@@ -69,7 +72,8 @@ func (c *RLPortController) DecidePorts(id int, obs network.Observation) [4]netwo
 			TemperatureC:      obs.Features.TemperatureC,
 		})
 		r := base / (1 + reliabilityWeight*po.ResidualRate)
-		modes[port] = network.Mode(c.agents[id*4+port].Step(s, r))
+		agent := c.agents[topology.LinkIndex(id, topology.North+topology.Direction(port))]
+		modes[port] = network.Mode(agent.Step(s, r))
 	}
 	return modes
 }

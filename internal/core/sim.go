@@ -10,9 +10,9 @@ import (
 	"rlnoc/internal/traffic"
 )
 
-// meshOf builds the topology described by a config.
-func meshOf(cfg config.Config) (*topology.Mesh, error) {
-	return topology.NewMesh(cfg.Width, cfg.Height)
+// topologyOf builds the fabric described by a config.
+func topologyOf(cfg config.Config) (topology.Topology, error) {
+	return topology.FromConfig(cfg)
 }
 
 // pretrainSegments are the synthetic traffic phases of the pre-training
@@ -175,7 +175,7 @@ func (s *Sim) Pretrain() error {
 			if offset+span > cycles {
 				span = cycles - offset
 			}
-			segEvents, err := traffic.Synthetic(s.net.Mesh(), seg.pattern, seg.rate,
+			segEvents, err := traffic.Synthetic(s.net.Topology(), seg.pattern, seg.rate,
 				s.cfg.FlitsPerPacket, span, s.cfg.Seed*31+900+int64(i))
 			if err != nil {
 				return err
@@ -387,11 +387,11 @@ func RunBenchmark(cfg config.Config, scheme Scheme, benchmark string) (Result, e
 	if err != nil {
 		return Result{}, err
 	}
-	mesh, err := meshOf(cfg)
+	topo, err := topologyOf(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	events, err := b.Trace(mesh, int64(cfg.MaxCycles), cfg.FlitsPerPacket, cfg.Seed*31+1300)
+	events, err := b.Trace(topo, int64(cfg.MaxCycles), cfg.FlitsPerPacket, cfg.Seed*31+1300)
 	if err != nil {
 		return Result{}, err
 	}

@@ -20,7 +20,7 @@ func quickConfig() config.Config {
 
 func quickTrace(t *testing.T, cfg config.Config) []traffic.Event {
 	t.Helper()
-	mesh, err := meshOf(cfg)
+	mesh, err := topologyOf(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,7 +64,7 @@ func TestActiveSetsDrainWhenIdle(t *testing.T) {
 	}
 	// A packet re-activates its source and every hop it touches, and the
 	// network still drains to quiescence afterwards.
-	if _, err := n.NewDataPacket(0, n.mesh.Nodes()-1, 4, n.Cycle()); err != nil {
+	if _, err := n.NewDataPacket(0, n.topo.Nodes()-1, 4, n.Cycle()); err != nil {
 		t.Fatal(err)
 	}
 	if n.niActive.count() != 1 {
@@ -94,7 +94,7 @@ func TestSetDenseScanRefills(t *testing.T) {
 		t.Fatal("dense scan did not drain")
 	}
 	n.SetDenseScan(false)
-	nodes := n.mesh.Nodes()
+	nodes := n.topo.Nodes()
 	if w := n.wireActive.count(); w != nodes {
 		t.Fatalf("wireActive refilled to %d, want %d", w, nodes)
 	}

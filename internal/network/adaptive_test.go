@@ -24,7 +24,7 @@ func westFirstNet(t *testing.T, errRate float64, mode Mode, hasECC bool) *Networ
 func TestWestFirstDeliversEverything(t *testing.T) {
 	n := westFirstNet(t, 0, Mode0, false)
 	n.Stats().SetMeasuring(true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.006, 4, 4000, 11)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.006, 4, 4000, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestWestFirstDeliversEverything(t *testing.T) {
 func TestWestFirstSurvivesErrorsAndARQ(t *testing.T) {
 	n := westFirstNet(t, 0.01, Mode1, true)
 	n.Stats().SetMeasuring(true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.004, 4, 4000, 13)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.004, 4, 4000, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestWestFirstHeavyAdversarialLoad(t *testing.T) {
 		p := p
 		t.Run(string(p), func(t *testing.T) {
 			n := westFirstNet(t, 0, Mode0, false)
-			events, err := traffic.Synthetic(n.Mesh(), p, 0.02, 4, 5000, 17)
+			events, err := traffic.Synthetic(n.Topology(), p, 0.02, 4, 5000, 17)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,7 +79,7 @@ func TestWestFirstHeavyAdversarialLoad(t *testing.T) {
 // keeping references.
 func TestWestFirstPathsAreValidAndMinimal(t *testing.T) {
 	n := westFirstNet(t, 0, Mode0, false)
-	mesh := n.Mesh()
+	mesh := n.Topology()
 	var pkts []*packetRef
 	for i := 0; i < 40; i++ {
 		src := (i * 7) % mesh.Nodes()
@@ -145,7 +145,7 @@ func abs(v int) int {
 // paths between a congested pair region (XY would always take one).
 func TestAdaptiveSpreadsLoad(t *testing.T) {
 	n := westFirstNet(t, 0, Mode0, false)
-	mesh := n.Mesh()
+	mesh := n.Topology()
 	src := mesh.ID(topology.Coord{X: 0, Y: 0})
 	dst := mesh.ID(topology.Coord{X: 3, Y: 3})
 	var pkts []*packetRef

@@ -18,7 +18,7 @@ func TestCRCSnooperFeedsResidualStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.Stats().SetMeasuring(true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.004, 4, 3000, 3)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.004, 4, 3000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestCRCSnooperFeedsResidualStats(t *testing.T) {
 func TestNoSnooperForStaticSchemes(t *testing.T) {
 	cfg := testConfig(0.02)
 	n := newNet(t, cfg, Mode0, false) // ControllerNone
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.004, 4, 2000, 3)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.004, 4, 2000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestModeFlappingLosesNothing(t *testing.T) {
 				t.Fatal(err)
 			}
 			n.Stats().SetMeasuring(true)
-			events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.003, 4, 6000, 5)
+			events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.003, 4, 6000, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,7 +130,7 @@ func TestGoBackNOrdering(t *testing.T) {
 	n.Stats().SetMeasuring(true)
 	// Neighbor pattern: every node hammers its east neighbor, maximizing
 	// per-link streams.
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Neighbor, 0.01, 4, 4000, 7)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Neighbor, 0.01, 4, 4000, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestAdvisoryNACKsVisibleInFeatures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.005, 4, 4000, 9)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.005, 4, 4000, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestEventLogIntegration(t *testing.T) {
 	var buf bytes.Buffer
 	l := eventlog.New(&buf)
 	n.SetEventLog(l)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.004, 4, 3000, 3)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.004, 4, 3000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func BenchmarkStepIdle(b *testing.B) {
 // traffic with full ARQ+ECC protection.
 func BenchmarkStepLoaded(b *testing.B) {
 	n := benchNet(b, Mode1, true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.008, 4, int64(b.N)+10_000, 1)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.008, 4, int64(b.N)+10_000, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func BenchmarkStepLoaded(b *testing.B) {
 // BenchmarkStepMode2 measures the duplicate-transmission overhead.
 func BenchmarkStepMode2(b *testing.B) {
 	n := benchNet(b, Mode2, true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.005, 4, int64(b.N)+10_000, 1)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.005, 4, int64(b.N)+10_000, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -34,12 +34,11 @@ const watchdogCycles = 100_000
 // maps to 100% processing-core activity in the tile power model.
 const coreActivityFullLoad = 0.1
 
-// Network is the assembled mesh: routers, NIs, fault/thermal/power models
-// and the per-epoch control loop.
+// Network is the assembled fabric: routers, NIs, fault/thermal/power
+// models and the per-epoch control loop.
 type Network struct {
-	cfg   config.Config
-	mesh  *topology.Mesh
-	route topology.RouteFunc
+	cfg  config.Config
+	topo topology.Topology
 
 	routers []*Router
 	nis     []*NI
@@ -56,6 +55,7 @@ type Network struct {
 	ctrlKind   ControllerKind
 	hasECC     bool
 	adaptive   bool // west-first congestion-aware routing
+	wrapVCs    bool // dateline VC classes active (wraparound fabric)
 	modes      []Mode
 
 	cycle   int64
@@ -120,35 +120,27 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 	if controller == nil {
 		return nil, fmt.Errorf("network: nil controller")
 	}
-	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	topo, err := topology.FromConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	route := topology.RouteXY
-	adaptive := false
-	switch cfg.Routing {
-	case config.RoutingYX:
-		route = topology.RouteYX
-	case config.RoutingWestFirst:
-		adaptive = true
-	}
-	n := mesh.Nodes()
-	faults, err := fault.New(cfg.Fault, cfg.VoltageV, n*4, cfg.Seed*31+1)
+	adaptive := cfg.Routing == config.RoutingWestFirst
+	n := topo.Nodes()
+	faults, err := fault.New(cfg.Fault, cfg.VoltageV, topo.LinkSlots(), cfg.Seed*31+1)
 	if err != nil {
 		return nil, err
 	}
-	grid, err := thermal.NewGrid(mesh, cfg.Thermal)
+	grid, err := thermal.NewGrid(topo, cfg.Thermal)
 	if err != nil {
 		return nil, err
 	}
 	net := &Network{
 		cfg:           cfg,
-		mesh:          mesh,
-		route:         route,
+		topo:          topo,
 		routers:       make([]*Router, n),
 		nis:           make([]*NI, n),
 		faults:        faults,
-		ftab:          fault.NewTable(faults, n*4),
+		ftab:          fault.NewTable(faults, topo.LinkSlots()),
 		grid:          grid,
 		meter:         power.NewMeter(power.DefaultParams().Scaled(cfg.VoltageV), n),
 		stats:         stats.New(n),
@@ -156,6 +148,7 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		rng:           rand.New(rand.NewSource(cfg.Seed*31 + 2)),
 		controller:    controller,
 		adaptive:      adaptive,
+		wrapVCs:       topo.Wraparound(),
 		ctrlKind:      kind,
 		hasECC:        hasECC,
 		modes:         make([]Mode, n),
@@ -184,27 +177,30 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		net.routers[id] = newRouter(id, cfg.VCsPerPort, cfg.VCDepth)
 		net.nis[id] = newNI(id, cfg.VCsPerPort, net, cfg.Seed*31+100+int64(id))
 	}
-	// Wire output ports.
+	// Wire output ports from the topology's edge list: every port starts
+	// unwired (Local ejects to the router's own NI), then each Link claims
+	// its (Src, Dir) slot.
 	for id := 0; id < n; id++ {
 		r := net.routers[id]
 		for dir := topology.Direction(0); dir < topology.NumPorts; dir++ {
-			p := &outputPort{dir: dir, owner: id, downstream: -1, resendIdx: -1}
-			if dir != topology.Local {
-				if nb, ok := mesh.Neighbor(id, dir); ok {
-					p.downstream = nb
-					p.inPort = dir.Opposite()
-					p.credits = make([]int, cfg.VCsPerPort)
-					for v := range p.credits {
-						p.credits[v] = cfg.VCDepth
-					}
-					p.vcBusy = make([]bool, cfg.VCsPerPort)
-					p.vcPendingFree = make([]bool, cfg.VCsPerPort)
-				}
-			} else {
+			p := &outputPort{dir: dir, owner: id, downstream: -1, resendIdx: -1, wireScale: 1}
+			if dir == topology.Local {
 				p.downstream = id // ejection to own NI
 			}
 			r.outputs[dir] = p
 		}
+	}
+	for _, l := range topo.Links() {
+		p := net.routers[l.Src].outputs[l.Dir]
+		p.downstream = l.Dst
+		p.inPort = l.Dir.Opposite()
+		p.wireScale = l.Length
+		p.credits = make([]int, cfg.VCsPerPort)
+		for v := range p.credits {
+			p.credits[v] = cfg.VCDepth
+		}
+		p.vcBusy = make([]bool, cfg.VCsPerPort)
+		p.vcPendingFree = make([]bool, cfg.VCsPerPort)
 	}
 	// Initial modes: ask the controller once at cycle 0. Static schemes
 	// get their fixed mode immediately; learning controllers start from
@@ -239,7 +235,7 @@ func (n *Network) markNI(id int) { n.niActive.add(id) }
 func (n *Network) SetDenseScan(dense bool) {
 	n.dense = dense
 	if !dense {
-		routers := n.mesh.Nodes()
+		routers := n.topo.Nodes()
 		n.wireActive.addAll(routers)
 		n.niActive.addAll(routers)
 		n.pipeActive.addAll(routers)
@@ -255,8 +251,8 @@ func (n *Network) Meter() *power.Meter { return n.meter }
 // Thermal exposes the thermal grid.
 func (n *Network) Thermal() *thermal.Grid { return n.grid }
 
-// Mesh exposes the topology.
-func (n *Network) Mesh() *topology.Mesh { return n.mesh }
+// Topology exposes the fabric.
+func (n *Network) Topology() topology.Topology { return n.topo }
 
 // Cycle returns the current simulation cycle.
 func (n *Network) Cycle() int64 { return n.cycle }
@@ -297,8 +293,8 @@ func (n *Network) NewDataPacket(src, dst, flits int, createdAt int64) (*flit.Pac
 	if src == dst {
 		return nil, fmt.Errorf("network: self-send at node %d", src)
 	}
-	if src < 0 || src >= n.mesh.Nodes() || dst < 0 || dst >= n.mesh.Nodes() {
-		return nil, fmt.Errorf("network: endpoints (%d,%d) outside mesh", src, dst)
+	if src < 0 || src >= n.topo.Nodes() || dst < 0 || dst >= n.topo.Nodes() {
+		return nil, fmt.Errorf("network: endpoints (%d,%d) outside fabric", src, dst)
 	}
 	if flits < 1 {
 		return nil, fmt.Errorf("network: packet needs at least 1 flit")
@@ -357,7 +353,7 @@ func (n *Network) deliverData(pkt *flit.Packet, cycle int64) {
 	// path length.
 	hops := len(pkt.Path) - 1
 	if hops < 1 {
-		hops = n.mesh.Hops(pkt.Src, pkt.Dst)
+		hops = n.topo.Hops(pkt.Src, pkt.Dst)
 	}
 	perHop := float64(latency) / float64(hops+1)
 	for _, id := range pkt.Path {
@@ -462,7 +458,7 @@ func (n *Network) refreshErrorProbabilities() {
 			if util > 1 {
 				util = 1
 			}
-			linkID := id*4 + int(dir-topology.North)
+			linkID := n.topo.LinkIndex(id, dir)
 			// The memo table recomputes the Pow/Erf kernel only when the
 			// link's (temperature, utilization) pair actually changed —
 			// idle windows and a converged thermal grid hit the cache.
@@ -782,7 +778,7 @@ func (n *Network) routeCompute(r *Router, vc *inputVC, front *bufFlit) {
 	if n.adaptive {
 		vc.outPort = n.routeAdaptive(r, pkt)
 	} else {
-		vc.outPort = n.route(n.mesh, r.id, pkt.Dst)
+		vc.outPort = n.topo.Route(r.id, pkt.Dst)
 	}
 	vc.routed = true
 	// Record the head's path for latency attribution (exact even
@@ -805,6 +801,18 @@ func (n *Network) vaTryGrant(r *Router, op *outputPort, out topology.Direction, 
 		return false
 	}
 	lo, hi := n.vcRange(front.f.Packet.Kind != flit.Data)
+	if n.wrapVCs {
+		// Dateline rule (wraparound fabrics only): each VC class splits
+		// into wrap classes 0 (lower half) and 1 (upper half), and the
+		// topology dictates which half this hop may allocate from. See
+		// Topology.WrapVCClass for the deadlock-freedom argument.
+		mid := lo + (hi-lo)/2
+		if n.topo.WrapVCClass(r.id, front.f.Packet.Dst, out) == 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
 	grant := op.freeVC(lo, hi)
 	if grant < 0 {
 		return false
@@ -900,7 +908,7 @@ func (n *Network) routeAndAllocateDense(r *Router) {
 // congestion: most free credits in the packet's VC class wins, with a
 // bonus for an idle link; ties break deterministically.
 func (n *Network) routeAdaptive(r *Router, pkt *flit.Packet) topology.Direction {
-	cands := topology.WestFirstCandidates(n.mesh, r.id, pkt.Dst)
+	cands := topology.WestFirstCandidates(n.topo, r.id, pkt.Dst)
 	if len(cands) == 0 {
 		return topology.Local
 	}
@@ -1056,7 +1064,7 @@ func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC
 
 	// Return the freed buffer slot upstream.
 	if inPort != topology.Local {
-		if up, ok := n.mesh.Neighbor(r.id, inPort); ok {
+		if up, ok := n.topo.Neighbor(r.id, inPort); ok {
 			upPort := n.routers[up].outputs[inPort.Opposite()]
 			upPort.credRet = append(upPort.credRet, wireCredit{vc: f.VC, deliver: n.cycle + 1})
 			n.markWire(up)
@@ -1124,7 +1132,7 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 	hit := n.corrupt(r, op, wire, eccOn)
 	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: seq, eccValid: eccOn,
 		dupFollows: mode == Mode2, corrupted: hit})
-	n.meter.Link(r.id)
+	n.meter.LinkScaled(r.id, op.wireScale)
 	n.stats.RouterFlitOut(r.id)
 	op.winSent++
 	op.winSentEpoch++
@@ -1136,7 +1144,7 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 		hit := n.corrupt(r, op, dup, true)
 		n.pushWire(op, wireFlit{f: dup, arrive: arrive + 1, seq: seq, eccValid: true,
 			isDup: true, corrupted: hit})
-		n.meter.Link(r.id)
+		n.meter.LinkScaled(r.id, op.wireScale)
 		n.stats.Measuref(func(c *statsCollector) { c.PreRetransmissions++ })
 	}
 }
@@ -1160,7 +1168,7 @@ func (n *Network) retransmit(r *Router, op *outputPort) {
 	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: e.seq, eccValid: true,
 		isRetx: true, corrupted: hit})
 	op.linkBusyUntil = n.cycle + 1
-	n.meter.Link(r.id)
+	n.meter.LinkScaled(r.id, op.wireScale)
 	n.stats.Measuref(func(c *statsCollector) { c.LinkRetransmissions++ })
 	n.lastProgress = n.cycle
 	n.elog.Record(eventlog.Event{Cycle: n.cycle, Kind: eventlog.KRetx, Router: r.id,

@@ -100,7 +100,7 @@ func TestAllPacketsDeliveredNoErrors(t *testing.T) {
 			cfg := testConfig(0)
 			n := newNet(t, cfg, mode, true)
 			n.Stats().SetMeasuring(true)
-			events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.005, 4, 3000, 7)
+			events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.005, 4, 3000, 7)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -125,7 +125,7 @@ func TestCRCSchemeRecoversFromErrors(t *testing.T) {
 	cfg := testConfig(0.01) // harsh: 1% per-flit per-hop
 	n := newNet(t, cfg, Mode0, false)
 	n.Stats().SetMeasuring(true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.003, 4, 4000, 3)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.003, 4, 4000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestARQCorrectsAndRetransmits(t *testing.T) {
 	cfg := testConfig(0.01)
 	n := newNet(t, cfg, Mode1, true)
 	n.Stats().SetMeasuring(true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.003, 4, 4000, 3)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.003, 4, 4000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestMode3SuppressesRetransmissions(t *testing.T) {
 	cfg := testConfig(0.05) // brutal error rate
 	n := newNet(t, cfg, Mode3, true)
 	n.Stats().SetMeasuring(true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.002, 4, 3000, 11)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.002, 4, 3000, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestMode2PreRetransmits(t *testing.T) {
 	cfg := testConfig(0.02)
 	n := newNet(t, cfg, Mode2, true)
 	n.Stats().SetMeasuring(true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.002, 4, 3000, 13)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.002, 4, 3000, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestDeterminismPerSeed(t *testing.T) {
 		cfg.Seed = seed
 		n := newNet(t, cfg, Mode1, true)
 		n.Stats().SetMeasuring(true)
-		events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.003, 4, 2000, 1)
+		events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.003, 4, 2000, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +285,7 @@ func TestDeterminismPerSeed(t *testing.T) {
 func TestEnergyAccountingActive(t *testing.T) {
 	cfg := testConfig(0)
 	n := newNet(t, cfg, Mode1, true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.003, 4, 2000, 9)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.003, 4, 2000, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +307,7 @@ func TestEnergyAccountingActive(t *testing.T) {
 func TestThermalCoupling(t *testing.T) {
 	cfg := testConfig(0)
 	n := newNet(t, cfg, Mode0, false)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.02, 4, 20_000, 21)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.02, 4, 20_000, 21)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestControlPacketsUseControlVCs(t *testing.T) {
 	cfg := testConfig(0.03)
 	n := newNet(t, cfg, Mode0, false)
 	n.Stats().SetMeasuring(true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.005, 4, 3000, 17)
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.005, 4, 3000, 17)
 	if err != nil {
 		t.Fatal(err)
 	}

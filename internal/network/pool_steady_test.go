@@ -31,7 +31,7 @@ func stepLoaded(t *testing.T, n *Network, events []traffic.Event, idx *int, unti
 func TestFlitPoolSteadyStateRecycles(t *testing.T) {
 	cfg := testConfig(0.0005)
 	n := newNet(t, cfg, Mode1, true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.01,
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.01,
 		cfg.FlitsPerPacket, 10_000, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +62,7 @@ func TestFlitPoolSteadyStateRecycles(t *testing.T) {
 func TestFlitPoolBalances(t *testing.T) {
 	cfg := testConfig(0.002)
 	n := newNet(t, cfg, Mode2, true)
-	events, err := traffic.Synthetic(n.Mesh(), traffic.Uniform, 0.008,
+	events, err := traffic.Synthetic(n.Topology(), traffic.Uniform, 0.008,
 		cfg.FlitsPerPacket, 5_000, 7)
 	if err != nil {
 		t.Fatal(err)

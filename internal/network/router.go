@@ -148,6 +148,11 @@ type outputPort struct {
 	// Cached per-flit error probability, refreshed each thermal window.
 	errProb float64
 
+	// wireScale is the physical wire length behind this port in tile
+	// pitches (1 for mesh links, row/column span for torus wrap links);
+	// it multiplies the per-traversal link energy.
+	wireScale float64
+
 	// winSent counts flits sent this *thermal* window (drives the
 	// utilization input of the fault model).
 	winSent int64
@@ -181,7 +186,7 @@ func (p *outputPort) freeVC(lo, hi int) int {
 	return -1
 }
 
-// Router is one mesh router: five input ports of VCs and five output
+// Router is one fabric router: five input ports of VCs and five output
 // ports.
 type Router struct {
 	id      int

@@ -189,8 +189,16 @@ func (m *Meter) Crossbar(r int) { m.record(r, EvCrossbar, m.p.CrossbarPJ) }
 // Arbitration records a switch/VC arbitration at router r.
 func (m *Meter) Arbitration(r int) { m.record(r, EvArbitration, m.p.ArbitrationPJ) }
 
-// Link records a link traversal leaving router r.
-func (m *Meter) Link(r int) { m.record(r, EvLink, m.p.LinkPJ) }
+// Link records a link traversal leaving router r over a wire one tile
+// pitch long.
+func (m *Meter) Link(r int) { m.LinkScaled(r, 1) }
+
+// LinkScaled records a link traversal leaving router r over a wire
+// `scale` tile pitches long: link energy is dominated by wire
+// capacitance, which grows linearly with length, so torus wraparound
+// links charge their full physical span. scale 1 is exact (LinkPJ * 1.0
+// has no rounding), keeping mesh results bit-identical to Link.
+func (m *Meter) LinkScaled(r int, scale float64) { m.record(r, EvLink, m.p.LinkPJ*scale) }
 
 // ECCEncode records a SECDED encode at router r's output.
 func (m *Meter) ECCEncode(r int) { m.record(r, EvECCEncode, m.p.ECCEncodePJ) }

@@ -21,9 +21,17 @@ import (
 
 // Grid is the tile thermal model. It is not safe for concurrent use.
 type Grid struct {
-	mesh *topology.Mesh
 	cfg  config.ThermalConfig
 	temp []float64
+	// nbr holds each tile's physical lateral neighbors in fixed
+	// North, South, East, West order (-1 where the die edge is). Heat
+	// spreads through the silicon die, whose tiles form a plain 2D grid
+	// under every fabric — torus wraparound links are long wires, not
+	// physical adjacency — so adjacency comes from the topology's tile
+	// coordinates (Dims/Coord), never from its link structure. The fixed
+	// direction order keeps the per-tile float accumulation order, and so
+	// every temperature bit, identical to the historical mesh iteration.
+	nbr [][4]int
 	// scratch holds per-step temperature deltas.
 	scratch []float64
 	// version counts Step calls that changed at least one temperature
@@ -33,18 +41,35 @@ type Grid struct {
 	version int64
 }
 
-// NewGrid builds a thermal grid over the mesh with every tile at the
-// configured initial temperature.
-func NewGrid(mesh *topology.Mesh, cfg config.ThermalConfig) (*Grid, error) {
-	if mesh == nil {
-		return nil, fmt.Errorf("thermal: nil mesh")
+// NewGrid builds a thermal grid over the fabric's physical tile layout
+// with every tile at the configured initial temperature.
+func NewGrid(topo topology.Topology, cfg config.ThermalConfig) (*Grid, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("thermal: nil topology")
 	}
-	n := mesh.Nodes()
+	n := topo.Nodes()
 	g := &Grid{
-		mesh:    mesh,
 		cfg:     cfg,
 		temp:    make([]float64, n),
+		nbr:     make([][4]int, n),
 		scratch: make([]float64, n),
+	}
+	w, h := topo.Dims()
+	for i := range g.nbr {
+		c := topo.Coord(i)
+		g.nbr[i] = [4]int{-1, -1, -1, -1}
+		if c.Y+1 < h { // North
+			g.nbr[i][0] = topo.ID(topology.Coord{X: c.X, Y: c.Y + 1})
+		}
+		if c.Y-1 >= 0 { // South
+			g.nbr[i][1] = topo.ID(topology.Coord{X: c.X, Y: c.Y - 1})
+		}
+		if c.X+1 < w { // East
+			g.nbr[i][2] = topo.ID(topology.Coord{X: c.X + 1, Y: c.Y})
+		}
+		if c.X-1 >= 0 { // West
+			g.nbr[i][3] = topo.ID(topology.Coord{X: c.X - 1, Y: c.Y})
+		}
 	}
 	for i := range g.temp {
 		g.temp[i] = cfg.InitialC
@@ -114,8 +139,8 @@ func (g *Grid) Version() int64 { return g.version }
 func (g *Grid) substep(powerW []float64, h float64) bool {
 	for i := range g.temp {
 		flow := powerW[i] - (g.temp[i]-g.cfg.AmbientC)/g.cfg.RThetaJA
-		for _, d := range []topology.Direction{topology.North, topology.South, topology.East, topology.West} {
-			if j, ok := g.mesh.Neighbor(i, d); ok {
+		for _, j := range g.nbr[i] {
+			if j >= 0 {
 				flow -= (g.temp[i] - g.temp[j]) / g.cfg.RThetaLateral
 			}
 		}
@@ -150,8 +175,8 @@ func (g *Grid) SteadyState(powerW []float64) ([]float64, error) {
 		for i := range t {
 			num := powerW[i] + gv*g.cfg.AmbientC
 			den := gv
-			for _, d := range []topology.Direction{topology.North, topology.South, topology.East, topology.West} {
-				if j, ok := g.mesh.Neighbor(i, d); ok {
+			for _, j := range g.nbr[i] {
+				if j >= 0 {
 					num += gl * t[j]
 					den += gl
 				}

@@ -1,0 +1,27 @@
+package topology
+
+import (
+	"fmt"
+
+	"rlnoc/internal/config"
+)
+
+// FromConfig builds the fabric a Config describes: kind from
+// cfg.Topology, dimensions from Width x Height, and the route table's
+// dimension order from cfg.Routing (west-first routing is adaptive and
+// computed per hop by the network, so its table order is irrelevant; it
+// gets the XY table used by analytic models).
+func FromConfig(cfg config.Config) (Topology, error) {
+	order := OrderXY
+	if cfg.Routing == config.RoutingYX {
+		order = OrderYX
+	}
+	switch kind := cfg.TopologyKind(); kind {
+	case config.TopologyMesh:
+		return NewMeshOrder(cfg.Width, cfg.Height, order)
+	case config.TopologyTorus:
+		return NewTorusOrder(cfg.Width, cfg.Height, order)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q (want mesh|torus)", kind)
+	}
+}

@@ -1,0 +1,58 @@
+package topology
+
+import (
+	"testing"
+
+	"rlnoc/internal/config"
+)
+
+func TestFromConfig(t *testing.T) {
+	cfg := config.Default()
+	topo, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Kind() != "mesh" || topo.Nodes() != cfg.Routers() {
+		t.Errorf("default config built %s with %d nodes", topo.Kind(), topo.Nodes())
+	}
+
+	cfg.Topology = config.TopologyTorus
+	topo, err = FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Kind() != "torus" || !topo.Wraparound() {
+		t.Errorf("torus config built %s", topo.Kind())
+	}
+
+	// An empty Topology string means mesh, for configs built by hand
+	// before the field existed.
+	cfg.Topology = ""
+	topo, err = FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Kind() != "mesh" {
+		t.Errorf("empty topology built %s, want mesh", topo.Kind())
+	}
+
+	cfg.Topology = "hypercube"
+	if _, err := FromConfig(cfg); err == nil {
+		t.Error("unknown topology did not error")
+	}
+}
+
+// FromConfig must honor the routing order: the YX table routes Y first.
+func TestFromConfigRoutingOrder(t *testing.T) {
+	cfg := config.Default()
+	cfg.Routing = config.RoutingYX
+	topo, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := topo.ID(Coord{X: 0, Y: 0})
+	dst := topo.ID(Coord{X: 3, Y: 3})
+	if d := topo.Route(src, dst); d != North {
+		t.Errorf("YX route first hop = %v, want north", d)
+	}
+}

@@ -1,0 +1,126 @@
+package topology
+
+import "fmt"
+
+// Mesh is a Width x Height 2D mesh of routers, the paper's fabric.
+// Router IDs are assigned row-major: id = y*Width + x. Edge routers have
+// no wraparound links.
+type Mesh struct {
+	Width, Height int
+	links         []Link
+	routes        []uint8
+}
+
+// NewMesh returns a mesh topology with X-Y dimension-ordered routing.
+// Width and height must be >= 1.
+func NewMesh(width, height int) (*Mesh, error) {
+	return NewMeshOrder(width, height, OrderXY)
+}
+
+// NewMeshOrder returns a mesh topology with the requested dimension
+// order for its route table.
+func NewMeshOrder(width, height int, order Order) (*Mesh, error) {
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("topology: invalid mesh %dx%d", width, height)
+	}
+	m := &Mesh{Width: width, Height: height}
+	route := RouteFunc(RouteXY)
+	if order == OrderYX {
+		route = RouteYX
+	}
+	m.routes = buildRouteTable(m, route)
+	m.links = buildLinks(m)
+	return m, nil
+}
+
+// buildLinks collects the directed edge list of t, ordered by source ID
+// then by port direction.
+func buildLinks(t Topology) []Link {
+	var links []Link
+	for id := 0; id < t.Nodes(); id++ {
+		for d := North; d < NumPorts; d++ {
+			if dst, ok := t.Neighbor(id, d); ok {
+				links = append(links, Link{Src: id, Dst: dst, Dir: d, Length: t.WireLength(id, d)})
+			}
+		}
+	}
+	return links
+}
+
+// Kind names the fabric.
+func (m *Mesh) Kind() string { return "mesh" }
+
+// Nodes returns the number of routers.
+func (m *Mesh) Nodes() int { return m.Width * m.Height }
+
+// Dims returns the physical tile-grid dimensions.
+func (m *Mesh) Dims() (int, int) { return m.Width, m.Height }
+
+// Coord converts a router ID to its coordinate. It panics if the ID is out
+// of range, which always indicates a simulator bug.
+func (m *Mesh) Coord(id int) Coord {
+	if id < 0 || id >= m.Nodes() {
+		panic(fmt.Sprintf("topology: router id %d out of range [0,%d)", id, m.Nodes()))
+	}
+	return Coord{X: id % m.Width, Y: id / m.Width}
+}
+
+// ID converts a coordinate to a router ID. It panics on out-of-range
+// coordinates.
+func (m *Mesh) ID(c Coord) int {
+	if c.X < 0 || c.X >= m.Width || c.Y < 0 || c.Y >= m.Height {
+		panic(fmt.Sprintf("topology: coordinate %v outside %dx%d mesh", c, m.Width, m.Height))
+	}
+	return c.Y*m.Width + c.X
+}
+
+// Neighbor returns the router ID adjacent to id in direction d, and whether
+// such a neighbor exists (mesh edges have no wraparound).
+func (m *Mesh) Neighbor(id int, d Direction) (int, bool) {
+	c := m.Coord(id)
+	switch d {
+	case North:
+		c.Y++
+	case South:
+		c.Y--
+	case East:
+		c.X++
+	case West:
+		c.X--
+	default:
+		return 0, false
+	}
+	if c.X < 0 || c.X >= m.Width || c.Y < 0 || c.Y >= m.Height {
+		return 0, false
+	}
+	return m.ID(c), true
+}
+
+// Hops returns the Manhattan distance between two routers.
+func (m *Mesh) Hops(src, dst int) int {
+	a, b := m.Coord(src), m.Coord(dst)
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+// Links returns the mesh's directed edge list.
+func (m *Mesh) Links() []Link { return m.links }
+
+// LinkIndex is the canonical dense link slot for (id, d).
+func (m *Mesh) LinkIndex(id int, d Direction) int { return LinkIndex(id, d) }
+
+// LinkSlots is the size of the dense link-index space.
+func (m *Mesh) LinkSlots() int { return LinkSlots(m.Nodes()) }
+
+// Route returns the precomputed dimension-ordered output port.
+func (m *Mesh) Route(here, dst int) Direction {
+	return Direction(m.routes[here*m.Nodes()+dst])
+}
+
+// Wraparound reports that a mesh has no wraparound links.
+func (m *Mesh) Wraparound() bool { return false }
+
+// WrapVCClass is always 0: a mesh needs no dateline.
+func (m *Mesh) WrapVCClass(here, dst int, out Direction) int { return 0 }
+
+// WireLength is 1 tile pitch for every mesh link.
+func (m *Mesh) WireLength(id int, d Direction) float64 { return 1 }

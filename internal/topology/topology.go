@@ -1,6 +1,9 @@
-// Package topology models the 2D-mesh interconnect fabric: node
-// coordinates, port directions, neighbor relations and dimension-ordered
-// routing (X-Y and Y-X), matching the paper's 8x8 2D mesh with X-Y routing.
+// Package topology models the interconnect fabric behind an abstract
+// Topology interface: node coordinates, port directions, neighbor
+// relations, an explicit link (edge) list, and table-driven
+// dimension-ordered routing. Two fabrics implement it — the paper's 2D
+// mesh (8x8 with X-Y routing in the evaluation) and a 2D torus whose
+// wraparound links use a dateline VC-class rule for deadlock freedom.
 package topology
 
 import "fmt"
@@ -46,91 +49,120 @@ func (d Direction) Opposite() Direction {
 	}
 }
 
-// Coord is a mesh coordinate; X grows East, Y grows North.
+// Coord is a fabric coordinate; X grows East, Y grows North.
 type Coord struct {
 	X, Y int
 }
 
 func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
 
-// Mesh is a Width x Height 2D mesh of routers. Router IDs are assigned
-// row-major: id = y*Width + x.
-type Mesh struct {
-	Width, Height int
+// Link is one directed router-to-router channel of the fabric.
+type Link struct {
+	Src int       // upstream router ID
+	Dst int       // downstream router ID
+	Dir Direction // output port on Src (never Local)
+	// Length is the physical wire length in tile pitches. Mesh links are
+	// 1; torus wraparound links span the row or column they close.
+	Length float64
 }
 
-// NewMesh returns a mesh topology. Width and height must be >= 1.
-func NewMesh(width, height int) (*Mesh, error) {
-	if width < 1 || height < 1 {
-		return nil, fmt.Errorf("topology: invalid mesh %dx%d", width, height)
+// linkPorts is the number of inter-router ports per router (all ports
+// except Local). The dense link-index space reserves one slot per
+// (router, port) pair whether or not the port is wired, so fault-model
+// RNG streams and controller agent tables are position-independent.
+const linkPorts = int(NumPorts) - 1
+
+// LinkIndex maps a (router, output port) pair to its canonical slot in
+// the dense per-link index space. It is the single source of truth for
+// link identity: the fault model, the error-probability cache and the
+// per-port RL agents all key on it.
+func LinkIndex(id int, d Direction) int { return id*linkPorts + int(d-North) }
+
+// LinkSlots returns the size of the dense link-index space for a fabric
+// of the given node count.
+func LinkSlots(nodes int) int { return nodes * linkPorts }
+
+// Topology is the abstract fabric: every consumer (network wiring,
+// routing, fault keying, thermal and power geometry, traffic patterns)
+// goes through this interface rather than assuming a concrete shape.
+type Topology interface {
+	// Kind names the fabric ("mesh", "torus").
+	Kind() string
+	// Nodes returns the number of routers.
+	Nodes() int
+	// Dims returns the physical 2D tile-grid dimensions. Both fabrics
+	// here lay tiles out as a width x height grid (torus wrap links are
+	// long wires over that same grid), so thermal adjacency and
+	// grid-based traffic patterns key on Dims, not on link structure.
+	Dims() (width, height int)
+	// Coord converts a router ID to its coordinate; panics out of range.
+	Coord(id int) Coord
+	// ID converts a coordinate to a router ID; panics out of range.
+	ID(c Coord) int
+	// Neighbor returns the router adjacent to id through output port d
+	// and whether that port is wired.
+	Neighbor(id int, d Direction) (int, bool)
+	// Hops returns the minimal hop distance between two routers.
+	Hops(src, dst int) int
+	// Links returns the fabric's directed edge list, ordered by source
+	// ID then by port direction. Callers must not mutate it.
+	Links() []Link
+	// LinkIndex is the canonical dense link slot for (id, d); see the
+	// package-level LinkIndex.
+	LinkIndex(id int, d Direction) int
+	// LinkSlots is the size of the dense link-index space.
+	LinkSlots() int
+	// Route returns the output port a packet at router here destined
+	// for router dst must take (Local when here == dst). It is a table
+	// lookup: the full routing relation is computed once at
+	// construction, never per flit.
+	Route(here, dst int) Direction
+	// Wraparound reports whether the fabric has wraparound links, i.e.
+	// whether deadlock freedom needs the dateline VC classes below.
+	Wraparound() bool
+	// WrapVCClass returns the dateline VC class (0 or 1) for a packet
+	// at here destined for dst leaving through out. Fabrics without
+	// wraparound always return 0.
+	WrapVCClass(here, dst int, out Direction) int
+	// WireLength returns the physical length, in tile pitches, of the
+	// wire behind output port d of router id (1 when the port is
+	// unwired; the value is only meaningful for wired ports).
+	WireLength(id int, d Direction) float64
+}
+
+// Order selects the dimension order of deterministic routing.
+type Order int
+
+const (
+	// OrderXY resolves the X dimension first, then Y.
+	OrderXY Order = iota
+	// OrderYX resolves the Y dimension first, then X.
+	OrderYX
+)
+
+// RouteFunc computes the output port a packet at router here destined for
+// router dst must take. Returning Local means the packet has arrived.
+// Route tables are built by evaluating a RouteFunc over all pairs.
+type RouteFunc func(t Topology, here, dst int) Direction
+
+// buildRouteTable evaluates route over every (here, dst) pair once. The
+// table stores the identical Directions the per-pair arithmetic yields,
+// so table-driven lookup is bit-identical to calling route per flit.
+func buildRouteTable(t Topology, route RouteFunc) []uint8 {
+	n := t.Nodes()
+	table := make([]uint8, n*n)
+	for here := 0; here < n; here++ {
+		for dst := 0; dst < n; dst++ {
+			table[here*n+dst] = uint8(route(t, here, dst))
+		}
 	}
-	return &Mesh{Width: width, Height: height}, nil
+	return table
 }
 
-// Nodes returns the number of routers.
-func (m *Mesh) Nodes() int { return m.Width * m.Height }
-
-// Coord converts a router ID to its coordinate. It panics if the ID is out
-// of range, which always indicates a simulator bug.
-func (m *Mesh) Coord(id int) Coord {
-	if id < 0 || id >= m.Nodes() {
-		panic(fmt.Sprintf("topology: router id %d out of range [0,%d)", id, m.Nodes()))
-	}
-	return Coord{X: id % m.Width, Y: id / m.Width}
-}
-
-// ID converts a coordinate to a router ID. It panics on out-of-range
-// coordinates.
-func (m *Mesh) ID(c Coord) int {
-	if c.X < 0 || c.X >= m.Width || c.Y < 0 || c.Y >= m.Height {
-		panic(fmt.Sprintf("topology: coordinate %v outside %dx%d mesh", c, m.Width, m.Height))
-	}
-	return c.Y*m.Width + c.X
-}
-
-// Neighbor returns the router ID adjacent to id in direction d, and whether
-// such a neighbor exists (mesh edges have no wraparound).
-func (m *Mesh) Neighbor(id int, d Direction) (int, bool) {
-	c := m.Coord(id)
-	switch d {
-	case North:
-		c.Y++
-	case South:
-		c.Y--
-	case East:
-		c.X++
-	case West:
-		c.X--
-	default:
-		return 0, false
-	}
-	if c.X < 0 || c.X >= m.Width || c.Y < 0 || c.Y >= m.Height {
-		return 0, false
-	}
-	return m.ID(c), true
-}
-
-// Hops returns the Manhattan distance between two routers.
-func (m *Mesh) Hops(src, dst int) int {
-	a, b := m.Coord(src), m.Coord(dst)
-	return abs(a.X-b.X) + abs(a.Y-b.Y)
-}
-
-func abs(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
-}
-
-// RouteFunc computes the output port a packet at router `here` destined for
-// router `dst` must take. Returning Local means the packet has arrived.
-type RouteFunc func(m *Mesh, here, dst int) Direction
-
-// RouteXY is dimension-ordered routing, X dimension first. Deadlock-free
-// on meshes.
-func RouteXY(m *Mesh, here, dst int) Direction {
-	h, d := m.Coord(here), m.Coord(dst)
+// RouteXY is grid dimension-ordered routing, X dimension first, with no
+// wraparound. Deadlock-free on meshes.
+func RouteXY(t Topology, here, dst int) Direction {
+	h, d := t.Coord(here), t.Coord(dst)
 	switch {
 	case d.X > h.X:
 		return East
@@ -145,10 +177,10 @@ func RouteXY(m *Mesh, here, dst int) Direction {
 	}
 }
 
-// RouteYX is dimension-ordered routing, Y dimension first. Deadlock-free
-// on meshes.
-func RouteYX(m *Mesh, here, dst int) Direction {
-	h, d := m.Coord(here), m.Coord(dst)
+// RouteYX is grid dimension-ordered routing, Y dimension first, with no
+// wraparound. Deadlock-free on meshes.
+func RouteYX(t Topology, here, dst int) Direction {
+	h, d := t.Coord(here), t.Coord(dst)
 	switch {
 	case d.Y > h.Y:
 		return North
@@ -164,15 +196,16 @@ func RouteYX(m *Mesh, here, dst int) Direction {
 }
 
 // WestFirstCandidates returns the productive output directions a packet
-// at `here` destined for `dst` may take under the west-first turn model
+// at here destined for dst may take under the west-first turn model
 // (Glass & Ni): all West hops must happen first — while the destination
 // lies to the west, West is the only choice; afterwards any minimal
 // combination of East/North/South may be chosen adaptively. Forbidding
 // turns into West breaks every cycle, so the routing is deadlock-free on
-// meshes while leaving room for congestion-aware choices.
+// meshes while leaving room for congestion-aware choices. It assumes a
+// wrap-free grid and must not be used on a torus.
 // Returns nil when here == dst.
-func WestFirstCandidates(m *Mesh, here, dst int) []Direction {
-	h, d := m.Coord(here), m.Coord(dst)
+func WestFirstCandidates(t Topology, here, dst int) []Direction {
+	h, d := t.Coord(here), t.Coord(dst)
 	if h == d {
 		return nil
 	}
@@ -193,22 +226,37 @@ func WestFirstCandidates(m *Mesh, here, dst int) []Direction {
 }
 
 // Path returns the sequence of router IDs a packet visits from src to dst
-// (inclusive of both) under the given routing function. It is used by
-// tests and by analytic models, not by the cycle-accurate simulator.
-func (m *Mesh) Path(src, dst int, route RouteFunc) []int {
+// (inclusive of both) under the given routing function, or t.Route when
+// route is nil. It is used by tests and analytic models, not by the
+// cycle-accurate simulator. A misbehaving RouteFunc cannot hang it: any
+// walk exceeding Nodes() hops, or stepping through an unwired port, is
+// reported as an error.
+func Path(t Topology, src, dst int, route RouteFunc) ([]int, error) {
+	if route == nil {
+		route = func(t Topology, here, dst int) Direction { return t.Route(here, dst) }
+	}
 	path := []int{src}
 	here := src
 	for here != dst {
-		d := route(m, here, dst)
-		next, ok := m.Neighbor(here, d)
+		d := route(t, here, dst)
+		next, ok := t.Neighbor(here, d)
 		if !ok {
-			panic(fmt.Sprintf("topology: route from %d to %d fell off the mesh at %d going %v", src, dst, here, d))
+			return nil, fmt.Errorf("topology: route from %d to %d fell off the fabric at %d going %v", src, dst, here, d)
 		}
 		here = next
 		path = append(path, here)
-		if len(path) > m.Nodes()+1 {
-			panic(fmt.Sprintf("topology: route from %d to %d does not converge", src, dst))
+		// A loop-free walk visits at most Nodes() routers, i.e. makes at
+		// most Nodes()-1 hops; one extra hop proves a routing cycle.
+		if len(path) > t.Nodes() {
+			return nil, fmt.Errorf("topology: route from %d to %d does not converge (%d hops without arriving)", src, dst, len(path)-1)
 		}
 	}
-	return path
+	return path, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }

@@ -5,6 +5,15 @@ import (
 	"testing/quick"
 )
 
+func mustPath(t *testing.T, topo Topology, src, dst int, route RouteFunc) []int {
+	t.Helper()
+	path, err := Path(topo, src, dst, route)
+	if err != nil {
+		t.Fatalf("Path(%d,%d): %v", src, dst, err)
+	}
+	return path
+}
+
 func mustMesh(t *testing.T, w, h int) *Mesh {
 	t.Helper()
 	m, err := NewMesh(w, h)
@@ -116,7 +125,7 @@ func TestRouteXYOrder(t *testing.T) {
 	m := mustMesh(t, 8, 8)
 	// From (0,0) to (3,3): XY goes East until X matches, then North.
 	src, dst := m.ID(Coord{0, 0}), m.ID(Coord{3, 3})
-	path := m.Path(src, dst, RouteXY)
+	path := mustPath(t, m, src, dst, RouteXY)
 	want := []int{0, 1, 2, 3, 11, 19, 27}
 	if len(path) != len(want) {
 		t.Fatalf("path length %d, want %d (%v)", len(path), len(want), path)
@@ -131,7 +140,7 @@ func TestRouteXYOrder(t *testing.T) {
 func TestRouteYXOrder(t *testing.T) {
 	m := mustMesh(t, 8, 8)
 	src, dst := m.ID(Coord{0, 0}), m.ID(Coord{3, 3})
-	path := m.Path(src, dst, RouteYX)
+	path := mustPath(t, m, src, dst, RouteYX)
 	// Y first: 0 -> 8 -> 16 -> 24 -> 25 -> 26 -> 27
 	want := []int{0, 8, 16, 24, 25, 26, 27}
 	for i := range want {
@@ -161,7 +170,10 @@ func TestRouteMinimalProperty(t *testing.T) {
 		src := int(srcRaw) % m.Nodes()
 		dst := int(dstRaw) % m.Nodes()
 		for _, r := range []RouteFunc{RouteXY, RouteYX} {
-			path := m.Path(src, dst, r)
+			path, err := Path(m, src, dst, r)
+			if err != nil {
+				return false
+			}
 			if len(path)-1 != m.Hops(src, dst) {
 				return false
 			}
@@ -253,7 +265,7 @@ func TestXYNeverTurnsYToX(t *testing.T) {
 	m := mustMesh(t, 8, 8)
 	for src := 0; src < m.Nodes(); src++ {
 		for dst := 0; dst < m.Nodes(); dst++ {
-			path := m.Path(src, dst, RouteXY)
+			path := mustPath(t, m, src, dst, RouteXY)
 			movedY := false
 			for i := 1; i < len(path); i++ {
 				a, b := m.Coord(path[i-1]), m.Coord(path[i])

@@ -1,0 +1,211 @@
+package topology
+
+import "fmt"
+
+// Torus is a Width x Height 2D torus: a mesh whose rows and columns
+// close into rings through wraparound links. Router IDs and tile layout
+// are identical to the mesh (row-major over a physical 2D grid); the
+// wrap links are long wires spanning the row or column they close, which
+// is what WireLength reports to the power model. Routing is minimal
+// dimension-ordered: each dimension independently takes the shorter way
+// around its ring (ties break toward East/North), and deadlock freedom
+// on the rings comes from the dateline VC classes in WrapVCClass.
+type Torus struct {
+	Width, Height int
+	links         []Link
+	routes        []uint8
+}
+
+// NewTorus returns a torus topology with X-Y dimension-ordered routing.
+// Width and height must be >= 2 so every ring is a real cycle.
+func NewTorus(width, height int) (*Torus, error) {
+	return NewTorusOrder(width, height, OrderXY)
+}
+
+// NewTorusOrder returns a torus topology with the requested dimension
+// order for its route table.
+func NewTorusOrder(width, height int, order Order) (*Torus, error) {
+	if width < 2 || height < 2 {
+		return nil, fmt.Errorf("topology: invalid torus %dx%d (need >= 2x2)", width, height)
+	}
+	t := &Torus{Width: width, Height: height}
+	route := RouteFunc(torusRouteXY)
+	if order == OrderYX {
+		route = torusRouteYX
+	}
+	t.routes = buildRouteTable(t, route)
+	t.links = buildLinks(t)
+	return t, nil
+}
+
+// ringSteps returns the hop counts from a to b on a ring of n nodes:
+// fwd going in the positive direction, bwd going negative.
+func ringSteps(a, b, n int) (fwd, bwd int) {
+	fwd = ((b - a) % n + n) % n
+	return fwd, (n - fwd) % n
+}
+
+// torusRouteXY is minimal dimension-ordered routing on a torus, X first.
+// Each dimension goes the shorter way around its ring; an exact tie
+// (distance n/2 on an even ring) deterministically picks the positive
+// direction (East, North).
+func torusRouteXY(t Topology, here, dst int) Direction {
+	to := t.(*Torus)
+	h, d := to.Coord(here), to.Coord(dst)
+	if dir, ok := ringDir(h.X, d.X, to.Width, East, West); ok {
+		return dir
+	}
+	if dir, ok := ringDir(h.Y, d.Y, to.Height, North, South); ok {
+		return dir
+	}
+	return Local
+}
+
+// torusRouteYX is minimal dimension-ordered routing on a torus, Y first.
+func torusRouteYX(t Topology, here, dst int) Direction {
+	to := t.(*Torus)
+	h, d := to.Coord(here), to.Coord(dst)
+	if dir, ok := ringDir(h.Y, d.Y, to.Height, North, South); ok {
+		return dir
+	}
+	if dir, ok := ringDir(h.X, d.X, to.Width, East, West); ok {
+		return dir
+	}
+	return Local
+}
+
+// ringDir picks the minimal direction from a to b on a ring of n nodes,
+// returning false when a == b (dimension resolved).
+func ringDir(a, b, n int, pos, neg Direction) (Direction, bool) {
+	fwd, bwd := ringSteps(a, b, n)
+	if fwd == 0 {
+		return Local, false
+	}
+	if fwd <= bwd {
+		return pos, true
+	}
+	return neg, true
+}
+
+// Kind names the fabric.
+func (t *Torus) Kind() string { return "torus" }
+
+// Nodes returns the number of routers.
+func (t *Torus) Nodes() int { return t.Width * t.Height }
+
+// Dims returns the physical tile-grid dimensions.
+func (t *Torus) Dims() (int, int) { return t.Width, t.Height }
+
+// Coord converts a router ID to its coordinate. It panics if the ID is out
+// of range, which always indicates a simulator bug.
+func (t *Torus) Coord(id int) Coord {
+	if id < 0 || id >= t.Nodes() {
+		panic(fmt.Sprintf("topology: router id %d out of range [0,%d)", id, t.Nodes()))
+	}
+	return Coord{X: id % t.Width, Y: id / t.Width}
+}
+
+// ID converts a coordinate to a router ID. It panics on out-of-range
+// coordinates.
+func (t *Torus) ID(c Coord) int {
+	if c.X < 0 || c.X >= t.Width || c.Y < 0 || c.Y >= t.Height {
+		panic(fmt.Sprintf("topology: coordinate %v outside %dx%d torus", c, t.Width, t.Height))
+	}
+	return c.Y*t.Width + c.X
+}
+
+// Neighbor returns the router ID adjacent to id in direction d. Every
+// non-Local port is wired: edges wrap around.
+func (t *Torus) Neighbor(id int, d Direction) (int, bool) {
+	c := t.Coord(id)
+	switch d {
+	case North:
+		c.Y = (c.Y + 1) % t.Height
+	case South:
+		c.Y = (c.Y - 1 + t.Height) % t.Height
+	case East:
+		c.X = (c.X + 1) % t.Width
+	case West:
+		c.X = (c.X - 1 + t.Width) % t.Width
+	default:
+		return 0, false
+	}
+	return t.ID(c), true
+}
+
+// Hops returns the minimal hop distance: the sum of the per-dimension
+// ring distances.
+func (t *Torus) Hops(src, dst int) int {
+	a, b := t.Coord(src), t.Coord(dst)
+	fx, bx := ringSteps(a.X, b.X, t.Width)
+	fy, by := ringSteps(a.Y, b.Y, t.Height)
+	return min(fx, bx) + min(fy, by)
+}
+
+// Links returns the torus's directed edge list.
+func (t *Torus) Links() []Link { return t.links }
+
+// LinkIndex is the canonical dense link slot for (id, d).
+func (t *Torus) LinkIndex(id int, d Direction) int { return LinkIndex(id, d) }
+
+// LinkSlots is the size of the dense link-index space.
+func (t *Torus) LinkSlots() int { return LinkSlots(t.Nodes()) }
+
+// Route returns the precomputed minimal dimension-ordered output port.
+func (t *Torus) Route(here, dst int) Direction {
+	return Direction(t.routes[here*t.Nodes()+dst])
+}
+
+// Wraparound reports that a torus needs dateline VC classes.
+func (t *Torus) Wraparound() bool { return true }
+
+// WrapVCClass implements the dateline rule: within each ring direction a
+// hop is class 1 while the packet's remaining travel in that dimension
+// still has the wrap edge ahead of it, and class 0 once the wrap has
+// been crossed (the crossing hop itself lands in class 0) or was never
+// needed. Class-1 channel dependencies strictly advance along the ring
+// and exit to class 0 at the dateline; class-0 dependencies run out
+// before completing a loop, so each class's channel-dependency graph is
+// acyclic and the ring cannot deadlock. Dimension order rules out
+// cross-dimension cycles, as on the mesh.
+func (t *Torus) WrapVCClass(here, dst int, out Direction) int {
+	next, ok := t.Neighbor(here, out)
+	if !ok {
+		return 0
+	}
+	n, d := t.Coord(next), t.Coord(dst)
+	switch out {
+	case East:
+		if n.X > d.X {
+			return 1
+		}
+	case West:
+		if n.X < d.X {
+			return 1
+		}
+	case North:
+		if n.Y > d.Y {
+			return 1
+		}
+	case South:
+		if n.Y < d.Y {
+			return 1
+		}
+	}
+	return 0
+}
+
+// WireLength reports the physical wire length behind (id, d): wrap links
+// span the whole row or column they close (in an unfolded tile layout),
+// interior links one tile pitch.
+func (t *Torus) WireLength(id int, d Direction) float64 {
+	c := t.Coord(id)
+	switch {
+	case d == East && c.X == t.Width-1, d == West && c.X == 0:
+		return float64(t.Width - 1)
+	case d == North && c.Y == t.Height-1, d == South && c.Y == 0:
+		return float64(t.Height - 1)
+	default:
+		return 1
+	}
+}

@@ -57,8 +57,9 @@ const hotspotFraction = 0.3
 // destination computes the destination for src under the pattern; for
 // stochastic patterns it consumes the RNG. Returns ok=false if the pattern
 // maps src to itself (the caller skips the injection).
-func destination(m *topology.Mesh, p Pattern, src int, rng *rand.Rand) (int, bool) {
+func destination(m topology.Topology, p Pattern, src int, rng *rand.Rand) (int, bool) {
 	n := m.Nodes()
+	w, h := m.Dims()
 	switch p {
 	case Uniform:
 		if n == 1 {
@@ -71,8 +72,8 @@ func destination(m *topology.Mesh, p Pattern, src int, rng *rand.Rand) (int, boo
 		return d, true
 	case Transpose:
 		c := m.Coord(src)
-		if c.X >= m.Height || c.Y >= m.Width {
-			// Non-square meshes: fall back to uniform for unmappable nodes.
+		if c.X >= h || c.Y >= w {
+			// Non-square fabrics: fall back to uniform for unmappable nodes.
 			return destination(m, Uniform, src, rng)
 		}
 		d := m.ID(topology.Coord{X: c.Y, Y: c.X})
@@ -106,9 +107,9 @@ func destination(m *topology.Mesh, p Pattern, src int, rng *rand.Rand) (int, boo
 		return d, d != src
 	case Hotspot:
 		// A handful of hot nodes near the center receive extra traffic.
-		hot := []int{m.ID(topology.Coord{X: m.Width / 2, Y: m.Height / 2})}
-		if m.Width > 2 && m.Height > 2 {
-			hot = append(hot, m.ID(topology.Coord{X: m.Width/2 - 1, Y: m.Height / 2}))
+		hot := []int{m.ID(topology.Coord{X: w / 2, Y: h / 2})}
+		if w > 2 && h > 2 {
+			hot = append(hot, m.ID(topology.Coord{X: w/2 - 1, Y: h / 2}))
 		}
 		if rng.Float64() < hotspotFraction {
 			d := hot[rng.Intn(len(hot))]
@@ -119,15 +120,15 @@ func destination(m *topology.Mesh, p Pattern, src int, rng *rand.Rand) (int, boo
 		return destination(m, Uniform, src, rng)
 	case Neighbor:
 		c := m.Coord(src)
-		d := m.ID(topology.Coord{X: (c.X + 1) % m.Width, Y: c.Y})
+		d := m.ID(topology.Coord{X: (c.X + 1) % w, Y: c.Y})
 		return d, d != src
 	case Tornado:
 		c := m.Coord(src)
-		shift := (m.Width+1)/2 - 1
+		shift := (w+1)/2 - 1
 		if shift < 1 {
 			shift = 1
 		}
-		d := m.ID(topology.Coord{X: (c.X + shift) % m.Width, Y: c.Y})
+		d := m.ID(topology.Coord{X: (c.X + shift) % w, Y: c.Y})
 		return d, d != src
 	default:
 		return 0, false
@@ -144,7 +145,7 @@ func log2(n int) int {
 
 // Synthetic generates a cycle-sorted trace for a synthetic pattern.
 // rate is packets per node per cycle; flits is the packet size.
-func Synthetic(m *topology.Mesh, p Pattern, rate float64, flits int, cycles int64, seed int64) ([]Event, error) {
+func Synthetic(m topology.Topology, p Pattern, rate float64, flits int, cycles int64, seed int64) ([]Event, error) {
 	if rate < 0 || rate > 1 {
 		return nil, fmt.Errorf("traffic: rate %g outside [0,1]", rate)
 	}
@@ -221,9 +222,9 @@ func BenchmarkByName(name string) (Benchmark, error) {
 	return Benchmark{}, fmt.Errorf("traffic: unknown benchmark %q", name)
 }
 
-// Trace synthesizes the benchmark's injection trace over the mesh.
+// Trace synthesizes the benchmark's injection trace over the fabric.
 // dataFlits is the full data-packet size (Table II: 4 flits).
-func (b Benchmark) Trace(m *topology.Mesh, cycles int64, dataFlits int, seed int64) ([]Event, error) {
+func (b Benchmark) Trace(m topology.Topology, cycles int64, dataFlits int, seed int64) ([]Event, error) {
 	if dataFlits < 1 {
 		return nil, fmt.Errorf("traffic: dataFlits %d < 1", dataFlits)
 	}
@@ -270,18 +271,19 @@ func (b Benchmark) Trace(m *topology.Mesh, cycles int64, dataFlits int, seed int
 	return events, nil
 }
 
-// hotNodes returns the mesh-corner tiles, standing in for memory
+// hotNodes returns the grid-corner tiles, standing in for memory
 // controllers.
-func hotNodes(m *topology.Mesh) []int {
+func hotNodes(m topology.Topology) []int {
+	w, h := m.Dims()
 	return []int{
 		m.ID(topology.Coord{X: 0, Y: 0}),
-		m.ID(topology.Coord{X: m.Width - 1, Y: 0}),
-		m.ID(topology.Coord{X: 0, Y: m.Height - 1}),
-		m.ID(topology.Coord{X: m.Width - 1, Y: m.Height - 1}),
+		m.ID(topology.Coord{X: w - 1, Y: 0}),
+		m.ID(topology.Coord{X: 0, Y: h - 1}),
+		m.ID(topology.Coord{X: w - 1, Y: h - 1}),
 	}
 }
 
-func (b Benchmark) pickDst(m *topology.Mesh, src int, hot []int, rng *rand.Rand) int {
+func (b Benchmark) pickDst(m topology.Topology, src int, hot []int, rng *rand.Rand) int {
 	r := rng.Float64()
 	switch {
 	case r < b.HotspotProb:
@@ -289,6 +291,7 @@ func (b Benchmark) pickDst(m *topology.Mesh, src int, hot []int, rng *rand.Rand)
 	case r < b.HotspotProb+b.Locality:
 		// A node within Manhattan radius 2.
 		c := m.Coord(src)
+		w, h := m.Dims()
 		for attempt := 0; attempt < 8; attempt++ {
 			dx := rng.Intn(5) - 2
 			dy := rng.Intn(5) - 2
@@ -296,7 +299,7 @@ func (b Benchmark) pickDst(m *topology.Mesh, src int, hot []int, rng *rand.Rand)
 				continue
 			}
 			nc := topology.Coord{X: c.X + dx, Y: c.Y + dy}
-			if nc.X < 0 || nc.X >= m.Width || nc.Y < 0 || nc.Y >= m.Height {
+			if nc.X < 0 || nc.X >= w || nc.Y < 0 || nc.Y >= h {
 				continue
 			}
 			return m.ID(nc)
@@ -308,9 +311,9 @@ func (b Benchmark) pickDst(m *topology.Mesh, src int, hot []int, rng *rand.Rand)
 	}
 }
 
-// Validate checks a trace against a mesh: in-range endpoints, positive
+// Validate checks a trace against a fabric: in-range endpoints, positive
 // sizes, non-decreasing cycles.
-func Validate(m *topology.Mesh, events []Event) error {
+func Validate(m topology.Topology, events []Event) error {
 	var prev int64 = -1
 	for i, e := range events {
 		if e.Cycle < prev {
@@ -318,7 +321,7 @@ func Validate(m *topology.Mesh, events []Event) error {
 		}
 		prev = e.Cycle
 		if e.Src < 0 || e.Src >= m.Nodes() || e.Dst < 0 || e.Dst >= m.Nodes() {
-			return fmt.Errorf("traffic: event %d endpoints (%d,%d) outside mesh", i, e.Src, e.Dst)
+			return fmt.Errorf("traffic: event %d endpoints (%d,%d) outside fabric", i, e.Src, e.Dst)
 		}
 		if e.Src == e.Dst {
 			return fmt.Errorf("traffic: event %d is a self-send at node %d", i, e.Src)
@@ -332,7 +335,7 @@ func Validate(m *topology.Mesh, events []Event) error {
 
 // OfferedLoad returns the trace's average offered load in flits per node
 // per cycle.
-func OfferedLoad(m *topology.Mesh, events []Event, cycles int64) float64 {
+func OfferedLoad(m topology.Topology, events []Event, cycles int64) float64 {
 	if cycles <= 0 || m.Nodes() == 0 {
 		return 0
 	}

@@ -1,0 +1,52 @@
+package rlnoc
+
+// Bit-identity pin for the fabric-abstraction refactor. The golden
+// strings below were captured by running the default 8x8 mesh (shortened
+// phases, fixed seed) against the pre-refactor tree, where routing was
+// per-flit X-Y arithmetic on a concrete *topology.Mesh and link indices
+// were inline id*4+dir math. The topology-as-interface refactor
+// (table-driven routes, edge-list wiring, canonical LinkIndex, wire-scaled
+// link energy) must reproduce these bytes exactly: the route table holds
+// the same Directions the arithmetic produced, the edge list wires the
+// same downstream ports, the fault model draws the same per-link RNG
+// stream over the same nodes*4 slot space, and mesh wire scale 1.0
+// multiplies LinkPJ exactly in IEEE 754. Any drift here means the "mesh
+// is unchanged" guarantee of DESIGN.md section 10 is broken.
+
+import "testing"
+
+// meshGolden maps scheme -> serialized Result for the pinned run.
+var meshGolden = map[Scheme]string{
+	CRC: `{"Scheme":"crc","Benchmark":"canneal","ExecutionCycles":3022,"Drained":true,"MeanLatency":23.756482525366405,"RetransmittedPacketEq":19,"DynamicPJ":69947.43999999782,"StaticPJ":123762.59686788093,"TotalPJ":193710.03686787875,"DynamicPowerW":0.06918638971315313,"EnergyEfficiency":14397.80842074929,"FlitsDelivered":2789,"MeanTempC":56.49199472694736,"MaxTempC":57.483392339599675,"ModeDecisions":[0,0,0,0],"ModeMeanReward":[0,0,0,0],"Summary":{"PacketsInjected":877,"PacketsDelivered":887,"FlitsDelivered":2789,"MeanLatency":23.756482525366405,"P50Latency":32,"P95Latency":64,"P99Latency":128,"MaxLatency":161,"SourceRetransmissions":19,"LinkRetransmissions":0,"PreRetransmissions":0,"ErrorsInjected":19,"ECCCorrections":0,"ECCDetections":0,"CRCFailures":19,"SilentCorruption":0}}`,
+	ARQ: `{"Scheme":"arq-ecc","Benchmark":"canneal","ExecutionCycles":3031,"Drained":true,"MeanLatency":28.298206278026907,"RetransmittedPacketEq":5,"DynamicPJ":86280.20000000119,"StaticPJ":154560.19766520412,"TotalPJ":240840.3976652053,"DynamicPowerW":0.08496326932545661,"EnergyEfficiency":11663.32570130041,"FlitsDelivered":2809,"MeanTempC":56.502235185298844,"MaxTempC":57.52593759092518,"ModeDecisions":[0,0,0,0],"ModeMeanReward":[0,0,0,0],"Summary":{"PacketsInjected":877,"PacketsDelivered":892,"FlitsDelivered":2809,"MeanLatency":28.298206278026907,"P50Latency":32,"P95Latency":64,"P99Latency":64,"MaxLatency":71,"SourceRetransmissions":0,"LinkRetransmissions":20,"PreRetransmissions":0,"ErrorsInjected":16,"ECCCorrections":9,"ECCDetections":7,"CRCFailures":0,"SilentCorruption":0}}`,
+	DT:  `{"Scheme":"dt","Benchmark":"canneal","ExecutionCycles":3022,"Drained":true,"MeanLatency":23.701240135287485,"RetransmittedPacketEq":17,"DynamicPJ":76689.89999999604,"StaticPJ":139174.81696276864,"TotalPJ":215864.71696276468,"DynamicPowerW":0.07585548961423941,"EnergyEfficiency":12920.129047680754,"FlitsDelivered":2789,"MeanTempC":56.50027380946165,"MaxTempC":57.525376796136364,"ModeDecisions":[256,0,0,0],"ModeMeanReward":[0,0,0,0],"Summary":{"PacketsInjected":877,"PacketsDelivered":887,"FlitsDelivered":2789,"MeanLatency":23.701240135287485,"P50Latency":32,"P95Latency":64,"P99Latency":128,"MaxLatency":124,"SourceRetransmissions":17,"LinkRetransmissions":0,"PreRetransmissions":0,"ErrorsInjected":18,"ECCCorrections":0,"ECCDetections":0,"CRCFailures":17,"SilentCorruption":0}}`,
+	RL:  `{"Scheme":"rl","Benchmark":"canneal","ExecutionCycles":3069,"Drained":true,"MeanLatency":24.4859392575928,"RetransmittedPacketEq":14,"DynamicPJ":77059.95999999465,"StaticPJ":140782.12646594096,"TotalPJ":217842.08646593563,"DynamicPowerW":0.0744900531657754,"EnergyEfficiency":12839.575884421087,"FlitsDelivered":2797,"MeanTempC":56.501099056784824,"MaxTempC":57.52525511564617,"ModeDecisions":[170,19,1,2],"ModeMeanReward":[0.9726242418609465,0.6871080010477374,0.5508101689470262,0.6438892765944003],"Summary":{"PacketsInjected":877,"PacketsDelivered":889,"FlitsDelivered":2797,"MeanLatency":24.4859392575928,"P50Latency":32,"P95Latency":64,"P99Latency":64,"MaxLatency":142,"SourceRetransmissions":13,"LinkRetransmissions":4,"PreRetransmissions":3,"ErrorsInjected":17,"ECCCorrections":2,"ECCDetections":2,"CRCFailures":12,"SilentCorruption":0}}`,
+}
+
+// meshGoldenConfig reproduces the exact run the goldens were captured
+// from: the default 8x8 mesh with shortened phases and a fixed seed.
+func meshGoldenConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PretrainCycles = 3000
+	cfg.WarmupCycles = 1000
+	cfg.MaxCycles = 3000
+	cfg.DrainCycles = 15000
+	cfg.Seed = 20260805
+	return cfg
+}
+
+// TestMeshGoldenPin replays the pinned 8x8-mesh run for every scheme and
+// requires byte-identical serialized results.
+func TestMeshGoldenPin(t *testing.T) {
+	cfg := meshGoldenConfig()
+	for _, scheme := range Schemes() {
+		res, err := Run(cfg, scheme, "canneal")
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if got := serialize(t, res); got != meshGolden[scheme] {
+			t.Errorf("%s: result drifted from pre-refactor golden:\n got: %s\nwant: %s",
+				scheme, got, meshGolden[scheme])
+		}
+	}
+}

@@ -90,14 +90,14 @@ func RunTrace(cfg Config, scheme Scheme, events []traffic.Event, label string) (
 type Event = traffic.Event
 
 // SyntheticTrace generates a synthetic-pattern trace for the configured
-// mesh. Pattern names: uniform, transpose, bitcomplement, bitreverse,
+// fabric. Pattern names: uniform, transpose, bitcomplement, bitreverse,
 // shuffle, hotspot, neighbor, tornado.
 func SyntheticTrace(cfg Config, pattern string, rate float64, cycles int64, seed int64) ([]Event, error) {
-	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	topo, err := topology.FromConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return traffic.Synthetic(mesh, traffic.Pattern(pattern), rate, cfg.FlitsPerPacket, cycles, seed)
+	return traffic.Synthetic(topo, traffic.Pattern(pattern), rate, cfg.FlitsPerPacket, cycles, seed)
 }
 
 // Session gives step-wise control over a run: pre-train, then measure
@@ -153,9 +153,9 @@ func BenchmarkTrace(cfg Config, benchmark string, cycles int64, seed int64) ([]E
 	if err != nil {
 		return nil, err
 	}
-	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	topo, err := topology.FromConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return b.Trace(mesh, cycles, cfg.FlitsPerPacket, seed)
+	return b.Trace(topo, cycles, cfg.FlitsPerPacket, seed)
 }
