@@ -112,3 +112,31 @@ func BenchmarkCycleLoopIdle(b *testing.B) { benchmarkCycleLoopStatic(b, network.
 func BenchmarkCycleLoopMode2Loaded(b *testing.B) {
 	benchmarkCycleLoopStatic(b, network.Mode2, benchLoadedRate)
 }
+
+// benchmarkCycleLoopParallel steps a loaded 16x16 Mode-2 mesh — enough
+// routers per shard that the per-phase fan-out amortizes — with the given
+// step-worker count. Workers=1 is the sequential referee; the W2/W4
+// variants measure the sharded path against it. The ratio is advisory:
+// it reflects the host's spare cores, not just the code (on a single-core
+// host the parallel path can only show its coordination overhead).
+func benchmarkCycleLoopParallel(b *testing.B, workers int) {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 16, 16
+	cfg.StepWorkers = workers
+	sim, err := core.NewStaticSim(cfg, network.Mode2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sim.Close()
+	benchmarkCycleLoopSim(b, cfg, sim, benchLoadedRate)
+}
+
+// BenchmarkCycleLoopParallelW1 is the sequential referee on the 16x16
+// loaded fabric (same workload as the W2/W4 variants).
+func BenchmarkCycleLoopParallelW1(b *testing.B) { benchmarkCycleLoopParallel(b, 1) }
+
+// BenchmarkCycleLoopParallelW2 shards the same workload across 2 workers.
+func BenchmarkCycleLoopParallelW2(b *testing.B) { benchmarkCycleLoopParallel(b, 2) }
+
+// BenchmarkCycleLoopParallelW4 shards the same workload across 4 workers.
+func BenchmarkCycleLoopParallelW4(b *testing.B) { benchmarkCycleLoopParallel(b, 4) }

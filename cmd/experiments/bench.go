@@ -56,6 +56,12 @@ type SchemeBench struct {
 	RouterCyclesPerSec float64 `json:"router_cycles_per_sec"`
 	AllocsPerCycle     float64 `json:"allocs_per_cycle"`
 	BytesPerCycle      float64 `json:"bytes_per_cycle"`
+	// StepWorkers is set for the parallel-stepping sweep scenarios.
+	StepWorkers int `json:"step_workers,omitempty"`
+	// SpeedupVsW1 is router-cycles/s relative to the 1-worker run of the
+	// same fabric. Advisory only — it measures the host's spare cores as
+	// much as the code — so no gate reads it.
+	SpeedupVsW1 float64 `json:"speedup_vs_workers1,omitempty"`
 }
 
 // BenchBaseline is the serialized baseline file.
@@ -71,12 +77,14 @@ type BenchBaseline struct {
 
 // benchScenario names one workload of the baseline sweep.
 type benchScenario struct {
-	name     string
-	rate     float64
-	scheme   core.Scheme  // adaptive scheme, when static is false
-	static   bool         // use a fixed-mode network instead of a scheme
-	mode     network.Mode // fixed mode, when static is true
-	topology string       // fabric override; empty keeps the config's fabric
+	name        string
+	rate        float64
+	scheme      core.Scheme  // adaptive scheme, when static is false
+	static      bool         // use a fixed-mode network instead of a scheme
+	mode        network.Mode // fixed mode, when static is true
+	topology    string       // fabric override; empty keeps the config's fabric
+	size        int          // square fabric side override; 0 keeps the config's
+	stepWorkers int          // per-Step shard workers; 0 keeps the config's
 }
 
 // benchScenarios lists the full sweep: the four schemes at the baseline
@@ -92,6 +100,16 @@ func benchScenarios() []benchScenario {
 		benchScenario{name: "mode2-loaded", rate: benchLoadedRate, static: true, mode: network.Mode2},
 		benchScenario{name: "torus-rl", rate: benchRate, scheme: core.SchemeRL, topology: "torus"},
 	)
+	// Parallel-stepping sweep: the same loaded 16x16 Mode-2 fabric at 1, 2
+	// and 4 step workers. Results are bit-identical by construction (the
+	// equivalence tests pin that); these scenarios track the wall-clock
+	// side, feeding the advisory speedup_vs_workers1 column.
+	for _, w := range []int{1, 2, 4} {
+		scs = append(scs, benchScenario{
+			name: fmt.Sprintf("par16-w%d", w), rate: benchLoadedRate,
+			static: true, mode: network.Mode2, size: 16, stepWorkers: w,
+		})
+	}
 	return scs
 }
 
@@ -115,6 +133,12 @@ func prepareBench(cfg rlnoc.Config, sc benchScenario, cycles int64) (*benchRun, 
 	}
 	if sc.topology != "" {
 		cfg.Topology = sc.topology
+	}
+	if sc.size > 0 {
+		cfg.Width, cfg.Height = sc.size, sc.size
+	}
+	if sc.stepWorkers > 0 {
+		cfg.StepWorkers = sc.stepWorkers
 	}
 	var (
 		sim *core.Sim
@@ -176,6 +200,7 @@ func (r *benchRun) measure() (SchemeBench, error) {
 		WallSeconds:    wall,
 		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(r.cycles),
 		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(r.cycles),
+		StepWorkers:    r.sc.stepWorkers,
 	}
 	if wall > 0 {
 		b.CyclesPerSec = float64(r.cycles) / wall
@@ -257,7 +282,29 @@ func measureAll(cfg rlnoc.Config, cycles int64, prof benchProfiles) ([]SchemeBen
 	if err := prof.writeHeap(); err != nil {
 		return nil, err
 	}
+	annotateSpeedup(out)
 	return out, nil
+}
+
+// annotateSpeedup fills the advisory speedup_vs_workers1 ratio on every
+// multi-worker scenario, relative to the 1-worker scenario of the same
+// sweep (par16-w1). Never gated: on a host with no spare cores the ratio
+// legitimately sits below 1x (pure coordination overhead).
+func annotateSpeedup(benches []SchemeBench) {
+	var base float64
+	for _, b := range benches {
+		if b.StepWorkers == 1 {
+			base = b.RouterCyclesPerSec
+		}
+	}
+	if base <= 0 {
+		return
+	}
+	for i := range benches {
+		if benches[i].StepWorkers > 1 {
+			benches[i].SpeedupVsW1 = benches[i].RouterCyclesPerSec / base
+		}
+	}
 }
 
 // runBenchBaseline measures every scenario and writes the baseline file.
@@ -276,8 +323,12 @@ func runBenchBaseline(cfg rlnoc.Config, path string, cycles int64, prof benchPro
 	}
 	for _, b := range benches {
 		base.Schemes = append(base.Schemes, b)
-		fmt.Printf("%-14s %12.0f router-cycles/s  %6.2f allocs/cycle  %8.1f B/cycle\n",
-			b.Scheme, b.RouterCyclesPerSec, b.AllocsPerCycle, b.BytesPerCycle)
+		extra := ""
+		if b.SpeedupVsW1 > 0 {
+			extra = fmt.Sprintf("  %.2fx vs workers=1", b.SpeedupVsW1)
+		}
+		fmt.Printf("%-14s %12.0f router-cycles/s  %6.2f allocs/cycle  %8.1f B/cycle%s\n",
+			b.Scheme, b.RouterCyclesPerSec, b.AllocsPerCycle, b.BytesPerCycle, extra)
 	}
 	data, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
@@ -338,8 +389,12 @@ func runBenchCompare(cfg rlnoc.Config, path string, cycles int64, gate string, p
 		if old.RouterCyclesPerSec > 0 {
 			speed = now.RouterCyclesPerSec/old.RouterCyclesPerSec - 1
 		}
-		fmt.Printf("%-14s allocs/cycle %6.2f -> %6.2f   router-cycles/s %+.1f%%\n",
-			now.Scheme, old.AllocsPerCycle, now.AllocsPerCycle, speed*100)
+		extra := ""
+		if now.SpeedupVsW1 > 0 {
+			extra = fmt.Sprintf("   speedup_vs_workers1 %.2fx (advisory)", now.SpeedupVsW1)
+		}
+		fmt.Printf("%-14s allocs/cycle %6.2f -> %6.2f   router-cycles/s %+.1f%%%s\n",
+			now.Scheme, old.AllocsPerCycle, now.AllocsPerCycle, speed*100, extra)
 		if now.AllocsPerCycle > old.AllocsPerCycle*1.25+0.5 {
 			allocRegressed = append(allocRegressed, now.Scheme)
 		}

@@ -49,6 +49,7 @@ func run() error {
 		benchCyc   = flag.Int64("bench-cycles", 20_000, "measured cycles per scheme for the cycle-loop baseline")
 		benchGate  = flag.String("bench-gate", "allocs", "which -bench-compare regressions fail the run: allocs|speed|all")
 		workers    = flag.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS)")
+		stepW      = flag.Int("step-workers", 0, "per-Step shard workers, deterministic (0 = config/env, 1 = sequential)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the measured bench loops to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile after the measured bench loops to this file")
 	)
@@ -75,6 +76,12 @@ func run() error {
 	}
 	if *workers != 0 {
 		cfg.SuiteWorkers = *workers
+	}
+	if *stepW != 0 {
+		cfg.StepWorkers = *stepW
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
 	}
 	prof := benchProfiles{cpu: *cpuProf, mem: *memProf}
 	var benchmarks []string

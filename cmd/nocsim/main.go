@@ -41,6 +41,7 @@ func run() error {
 		routing    = flag.String("routing", "", "routing algorithm: xy|yx|westfirst (default: config)")
 		topoFlag   = flag.String("topology", "", "fabric topology: mesh|torus (default: config)")
 		small      = flag.Bool("small", false, "use the 4x4 quick configuration")
+		stepW      = flag.Int("step-workers", 0, "per-Step shard workers, deterministic (0 = config/env, 1 = sequential)")
 		verbose    = flag.Bool("v", false, "print the error-control breakdown")
 		policy     = flag.Int("policy", 0, "print the N most-visited RL states with their Q-rows")
 		savePolicy = flag.String("save-policy", "", "write the trained RL Q-tables to a file after the run")
@@ -88,6 +89,12 @@ func run() error {
 	}
 	if *topoFlag != "" {
 		cfg.Topology = *topoFlag
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	if *stepW != 0 {
+		cfg.StepWorkers = *stepW
 		if err := cfg.Validate(); err != nil {
 			return err
 		}

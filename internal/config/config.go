@@ -76,6 +76,15 @@ type Config struct {
 	// pool size; this only trades memory for wall-clock time.
 	SuiteWorkers int `json:"suite_workers"`
 
+	// StepWorkers sets the worker pool size for intra-cycle parallelism
+	// inside Network.Step (sharded compute/commit; see DESIGN.md §11).
+	// 0 or 1 runs the sequential reference path. Results are bit-identical
+	// for every value at a fixed seed, so this only trades goroutine
+	// overhead for wall-clock speed on multi-core hosts. The
+	// RLNOC_STEP_WORKERS environment variable supplies a default when the
+	// field is 0.
+	StepWorkers int `json:"step_workers"`
+
 	// SourceWindow caps outstanding (undelivered) packets per source
 	// node; injection stalls at the cap, modeling cores blocking on
 	// outstanding transactions. This is what lets a slow network stretch
@@ -282,6 +291,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: source window must be non-negative, got %d", c.SourceWindow)
 	case c.SuiteWorkers < 0:
 		return fmt.Errorf("config: suite workers must be non-negative, got %d", c.SuiteWorkers)
+	case c.StepWorkers < 0:
+		return fmt.Errorf("config: step workers must be non-negative, got %d", c.StepWorkers)
 	}
 	if err := c.Fault.validate(); err != nil {
 		return err

@@ -151,6 +151,10 @@ func NewStaticSim(cfg config.Config, mode network.Mode) (*Sim, error) {
 // Network exposes the underlying network (examples and tests peek at it).
 func (s *Sim) Network() *network.Network { return s.net }
 
+// Close releases the network's step-worker goroutines (a no-op for
+// sequential simulations; a finalizer also covers forgotten calls).
+func (s *Sim) Close() { s.net.Close() }
+
 // Controller exposes the scheme's controller.
 func (s *Sim) Controller() network.Controller { return s.ctrl }
 

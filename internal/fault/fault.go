@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"rlnoc/internal/config"
+	"rlnoc/internal/detrand"
 )
 
 // vNominal is the supply voltage at which the delay model is centered.
@@ -146,7 +147,12 @@ const maxFlipBits = 6
 // multi-bit bursts that defeat SECDED (sometimes silently, via
 // miscorrection), which is exactly the regime the paper's Mode 3 exists
 // for ("the retransmitted flits will still contain faults").
-func (m *Model) SampleErrorBits(rng *rand.Rand, p float64) int {
+//
+// rng is any detrand.Source — a *rand.Rand or a keyed detrand.Stream.
+// The draw sequence (one gate draw, then one escalation draw per extra
+// bit) is identical either way, so the sampled distribution does not
+// depend on the source kind.
+func (m *Model) SampleErrorBits(rng detrand.Source, p float64) int {
 	if rng.Float64() >= p {
 		return 0
 	}
@@ -161,8 +167,12 @@ func (m *Model) SampleErrorBits(rng *rand.Rand, p float64) int {
 	return bits
 }
 
-// FlipBits flips n distinct uniformly random bits across the payload words.
-func FlipBits(rng *rand.Rand, words []uint64, n int) {
+// FlipBits flips n distinct uniformly random bits across the payload
+// words. Duplicate draws are rejected and redrawn, so the draw sequence
+// matches the original map-based implementation exactly; the fixed
+// scratch array (n is capped at maxFlipBits) keeps the hot fault path
+// allocation-free.
+func FlipBits(rng detrand.Source, words []uint64, n int) {
 	total := 64 * len(words)
 	if total == 0 || n <= 0 {
 		return
@@ -170,13 +180,24 @@ func FlipBits(rng *rand.Rand, words []uint64, n int) {
 	if n > total {
 		n = total
 	}
-	flipped := make(map[int]bool, n)
+	var buf [maxFlipBits]int
+	flipped := buf[:0]
+	if n > maxFlipBits {
+		flipped = make([]int, 0, n)
+	}
 	for len(flipped) < n {
 		bit := rng.Intn(total)
-		if flipped[bit] {
+		dup := false
+		for _, b := range flipped {
+			if b == bit {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		flipped[bit] = true
+		flipped = append(flipped, bit)
 		words[bit/64] ^= 1 << uint(bit%64)
 	}
 }

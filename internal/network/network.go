@@ -3,10 +3,10 @@ package network
 import (
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"rlnoc/internal/coding"
 	"rlnoc/internal/config"
+	"rlnoc/internal/detrand"
 	"rlnoc/internal/eventlog"
 	"rlnoc/internal/fault"
 	"rlnoc/internal/flit"
@@ -49,7 +49,6 @@ type Network struct {
 	meter  *power.Meter
 	stats  *stats.Collector
 	disc   rl.Discretizer
-	rng    *rand.Rand
 
 	controller Controller
 	ctrlKind   ControllerKind
@@ -66,7 +65,6 @@ type Network struct {
 	ctrlInFlight int
 
 	coreFlits    []float64 // flits injected per node this thermal window
-	inputUsed    [topology.NumPorts]bool
 	lastProgress int64
 	lastDelivery int64
 
@@ -84,6 +82,18 @@ type Network struct {
 	// retransmission buffer) back into the clone/packetization sites,
 	// keeping the steady-state cycle loop allocation-free.
 	fpool flit.Pool
+
+	// Sharded parallel stepping (DESIGN.md §11). workers is the resolved
+	// shard count; 1 means the fully-ordered sequential reference path.
+	// forceSeq pins the sequential path regardless of workers (the referee
+	// for TestParallelStepMatchesSequential); inParallel is true only while
+	// stepParallel is between phase dispatch and final commit, and gates
+	// the staging seams (activity marks) inside shared phase bodies.
+	workers    int
+	forceSeq   bool
+	inParallel bool
+	shards     []shardState
+	hub        *workerHub
 
 	// Reused per-epoch/per-window scratch buffers (one element per
 	// router), hoisted out of thermalStep and controlEpoch.
@@ -145,7 +155,6 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		meter:         power.NewMeter(power.DefaultParams().Scaled(cfg.VoltageV), n),
 		stats:         stats.New(n),
 		disc:          rl.DefaultDiscretizer(),
-		rng:           rand.New(rand.NewSource(cfg.Seed*31 + 2)),
 		controller:    controller,
 		adaptive:      adaptive,
 		wrapVCs:       topo.Wraparound(),
@@ -175,6 +184,7 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 	}
 	for id := 0; id < n; id++ {
 		net.routers[id] = newRouter(id, cfg.VCsPerPort, cfg.VCDepth)
+		net.routers[id].pool = &net.fpool
 		net.nis[id] = newNI(id, cfg.VCsPerPort, net, cfg.Seed*31+100+int64(id))
 	}
 	// Wire output ports from the topology's edge list: every port starts
@@ -183,7 +193,8 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 	for id := 0; id < n; id++ {
 		r := net.routers[id]
 		for dir := topology.Direction(0); dir < topology.NumPorts; dir++ {
-			p := &outputPort{dir: dir, owner: id, downstream: -1, resendIdx: -1, wireScale: 1}
+			p := &outputPort{dir: dir, owner: id, downstream: -1, resendIdx: -1, wireScale: 1,
+				linkID: -1}
 			if dir == topology.Local {
 				p.downstream = id // ejection to own NI
 			}
@@ -195,12 +206,17 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		p.downstream = l.Dst
 		p.inPort = l.Dir.Opposite()
 		p.wireScale = l.Length
+		p.linkID = topo.LinkIndex(l.Src, l.Dir)
 		p.credits = make([]int, cfg.VCsPerPort)
 		for v := range p.credits {
 			p.credits[v] = cfg.VCDepth
 		}
 		p.vcBusy = make([]bool, cfg.VCsPerPort)
 		p.vcPendingFree = make([]bool, cfg.VCsPerPort)
+	}
+	net.workers = resolveStepWorkers(cfg.StepWorkers, n)
+	if net.workers > 1 {
+		net.buildShards()
 	}
 	// Initial modes: ask the controller once at cycle 0. Static schemes
 	// get their fixed mode immediately; learning controllers start from
@@ -458,11 +474,10 @@ func (n *Network) refreshErrorProbabilities() {
 			if util > 1 {
 				util = 1
 			}
-			linkID := n.topo.LinkIndex(id, dir)
 			// The memo table recomputes the Pow/Erf kernel only when the
 			// link's (temperature, utilization) pair actually changed —
 			// idle windows and a converged thermal grid hit the cache.
-			p.errProb = n.ftab.ErrorProbability(linkID, temp, util, p.mode == Mode3)
+			p.errProb = n.ftab.ErrorProbability(p.linkID, temp, util, p.mode == Mode3)
 		}
 	}
 }
@@ -480,7 +495,7 @@ func (n *Network) Step() error {
 
 		// 1. Arrivals, ACK/NACK wires and credit returns.
 		for _, r := range n.routers {
-			n.stepWires(r)
+			n.stepWires(r, nil)
 		}
 
 		// 2. NI injection.
@@ -499,6 +514,15 @@ func (n *Network) Step() error {
 		for _, r := range n.routers {
 			n.switchAllocateDense(r)
 		}
+	} else if n.workers > 1 && !n.forceSeq && n.elog == nil {
+		// Sharded parallel path: same four phases, compute fanned out
+		// across contiguous router-ID shards with cross-shard effects
+		// staged and committed in ascending (router, port) order — bit-
+		// identical to the sequential path below at any worker count.
+		// Event logging forces the sequential path: the log interleaves
+		// records from every router in handler order, which only the
+		// fully-ordered walk reproduces.
+		n.stepParallel()
 	} else {
 		// Activity-proportional path: identical phase bodies over the
 		// active sets only. Set iteration is in ascending ID order — the
@@ -509,7 +533,7 @@ func (n *Network) Step() error {
 		// 1. Arrivals, ACK/NACK wires and credit returns.
 		n.wireActive.forEach(func(id int) {
 			r := n.routers[id]
-			n.stepWires(r)
+			n.stepWires(r, nil)
 			if r.wiresQuiet() {
 				n.wireActive.remove(id)
 			}
@@ -533,7 +557,7 @@ func (n *Network) Step() error {
 		// 4. Switch allocation, switch traversal and link transmission.
 		n.pipeActive.forEach(func(id int) {
 			r := n.routers[id]
-			n.switchAllocate(r)
+			n.switchAllocate(r, nil)
 			if r.pipeQuiet() {
 				n.pipeActive.remove(id)
 			}
@@ -557,15 +581,17 @@ func (n *Network) Step() error {
 }
 
 // stepWires runs the wire phase for one router: arrivals, ACK/NACK
-// processing, credit returns and VC releases on every port.
-func (n *Network) stepWires(r *Router) {
+// processing, credit returns and VC releases on every port. sh is the
+// owning shard when running inside a parallel compute pass, nil on the
+// sequential and dense paths; it receives the staged cross-router effects.
+func (n *Network) stepWires(r *Router, sh *shardState) {
 	for dir := topology.Direction(0); dir < topology.NumPorts; dir++ {
 		p := r.outputs[dir]
 		if len(p.inflight) > 0 {
-			n.processArrivals(r, p)
+			n.processArrivals(r, p, sh)
 		}
 		if len(p.acks) > 0 {
-			n.processAcks(r, p)
+			n.processAcks(r, p, sh)
 		}
 		if len(p.credRet) > 0 {
 			n.processCredits(p)
@@ -575,7 +601,7 @@ func (n *Network) stepWires(r *Router) {
 }
 
 // processArrivals handles flits whose link traversal completes this cycle.
-func (n *Network) processArrivals(r *Router, p *outputPort) {
+func (n *Network) processArrivals(r *Router, p *outputPort, sh *shardState) {
 	keep := p.inflight[:0]
 	for _, wf := range p.inflight {
 		if wf.arrive > n.cycle {
@@ -583,18 +609,26 @@ func (n *Network) processArrivals(r *Router, p *outputPort) {
 			continue
 		}
 		if p.dir == topology.Local {
-			n.nis[r.id].receive(wf.f, n.cycle)
-			n.lastProgress = n.cycle
+			n.emitWireOp(wireOp{f: wf.f, down: int32(r.id), flags: opEject}, sh)
 			continue
 		}
-		n.receiveOnLink(r, p, wf)
+		n.receiveOnLink(r, p, wf, sh)
 	}
 	p.inflight = keep
 }
 
 // receiveOnLink runs the downstream decoder and ARQ acceptance logic.
-func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
-	down := n.routers[p.downstream]
+//
+// The body splits along the shard boundary: everything decided and
+// mutated here touches only the upstream router's own state (sequence
+// screen, decode, ack queue, per-port epoch counters) plus the wire flit
+// itself, which this link exclusively owns. All effects on the
+// *downstream* router — meter charges, NACK-out stats, the buffer push —
+// are collapsed into a wireOp and executed by applyWireOp: inline when
+// stepping sequentially (sh == nil), or replayed in ascending (router,
+// port) order at commit when sh is a parallel shard. One executor for
+// both paths makes the commit bit-identical by construction.
+func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit, sh *shardState) {
 	cycle := n.cycle
 
 	// Sequence screening (the downstream decoder's go-back-N window).
@@ -604,10 +638,11 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
 		// younger ones in order. Every wire flit is singly-referenced
 		// (transmit and retransmit put clones on the wire), so a dropped
 		// one retires to the pool.
-		n.fpool.Put(wf.f)
+		up.pool.Put(wf.f)
 		return
 	}
 
+	var flags uint8
 	accept := true
 	if !wf.eccValid && n.ctrlKind != ControllerNone && wf.f.Packet.Kind == flit.Data {
 		// Adaptive-scheme routers snoop the per-flit CRC on ECC-bypassed
@@ -616,27 +651,27 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
 		// it feeds the upstream router's NACK-rate feature and the
 		// reliability term of its reward, restoring the error visibility
 		// that disabling the ECC decoders would otherwise destroy.
-		n.meter.CRCCheck(down.id)
+		flags |= opCRCCheck
 		// A flit never touched by fault injection provably matches its
 		// source CRC; skip recomputing it (the check energy is charged
-		// above either way).
+		// either way).
 		if !wf.f.Tainted && wf.f.Dirty && coding.CRC16Words(wf.f.Payload[:]) != wf.f.CRC {
 			// First detection: blame the link that actually corrupted it;
 			// the taint bit stops later hops from re-blaming innocents.
 			wf.f.Tainted = true
 			n.stats.RouterResidualCorrupt(up.id)
 			n.stats.RouterNACKIn(up.id)
-			n.stats.RouterNACKOut(down.id)
+			flags |= opNACKOut
 			p.winResidualEpoch++
 		}
 	}
 	if wf.eccValid {
-		n.meter.ECCDecode(down.id)
+		flags |= opECCDecode
 		// The SECDED word loop only matters if this traversal corrupted
 		// the copy: the check bits cover the payload exactly as it left
 		// the encoder, so a clean copy decodes to "OK" on every word.
-		// The decode energy above is charged unconditionally, as in
-		// hardware (and as in the dense referee path).
+		// The decode energy is charged unconditionally, as in hardware
+		// (and as in the dense referee path).
 		if wf.f.Packet.Kind == flit.Data && wf.corrupted {
 			corrected := false
 			for w := 0; w < flit.WordsPerFlit; w++ {
@@ -650,25 +685,29 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
 				}
 			}
 			if corrected && accept {
-				n.stats.Measuref(func(c *statsCollector) { c.ECCCorrections++ })
+				n.countStat(evECCCorrections, sh)
 			}
 		}
 	}
 
 	if !accept {
-		n.stats.Measuref(func(c *statsCollector) { c.ECCDetections++ })
-		n.fpool.Put(wf.f)
+		n.countStat(evECCDetections, sh)
+		up.pool.Put(wf.f)
 		if wf.dupFollows {
 			// Mode 2: the pre-retransmitted copy (same sequence number)
 			// arrives next cycle; defer the NACK decision to it.
+			if flags != 0 {
+				n.emitWireOp(wireOp{down: int32(p.downstream), flags: flags}, sh)
+			}
 			return
 		}
 		// NACK: request retransmission of this flit (and implicitly all
 		// younger ones, go-back-N).
 		p.acks = append(p.acks, wireAck{seq: wf.seq, nack: true, deliver: cycle + 1})
-		n.stats.Measuref(func(c *statsCollector) { c.LinkNACKs++ })
-		n.stats.RouterNACKOut(down.id)
-		n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KNACK, Router: down.id,
+		n.countStat(evLinkNACKs, sh)
+		flags |= opNACKOut
+		n.emitWireOp(wireOp{down: int32(p.downstream), flags: flags}, sh)
+		n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KNACK, Router: p.downstream,
 			Packet: wf.f.Packet.ID, Aux: int64(wf.f.Seq)})
 		return
 	}
@@ -677,23 +716,60 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit) {
 	p.expectSeq = wf.seq + 1
 	wf.f.ECCValid = false
 	p.acks = append(p.acks, wireAck{seq: wf.seq, nack: false, deliver: cycle + 1})
-	vcBuf := down.inputs[p.inPort][wf.f.VC]
-	if vcBuf.full() {
-		panic(fmt.Sprintf("network: credit protocol violated: router %d port %v vc %d overflow",
-			down.id, p.inPort, wf.f.VC))
+	n.emitWireOp(wireOp{f: wf.f, down: int32(p.downstream), inPort: p.inPort,
+		flags: flags | opAccept}, sh)
+}
+
+// emitWireOp stages op on the shard when running a parallel compute pass,
+// or executes it immediately on the sequential/dense paths.
+func (n *Network) emitWireOp(op wireOp, sh *shardState) {
+	if sh != nil {
+		sh.ops = append(sh.ops, op)
+		return
 	}
-	vcBuf.push(wf.f, cycle+pipelineFill)
-	n.markPipe(down.id)
-	n.meter.BufferWrite(down.id)
-	n.stats.RouterFlitIn(down.id)
-	down.winFlitsIn++
-	n.lastProgress = cycle
-	n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KAccept, Router: down.id,
-		Packet: wf.f.Packet.ID, Aux: int64(wf.f.Seq)})
+	n.applyWireOp(op)
+}
+
+// applyWireOp executes the downstream-router effects of one arrival. It
+// is the single executor for both the sequential path (inline) and the
+// parallel path (replayed at commit in ascending shard order, which is
+// ascending router order — the sequential visiting order).
+func (n *Network) applyWireOp(op wireOp) {
+	down := int(op.down)
+	cycle := n.cycle
+	if op.flags&opCRCCheck != 0 {
+		n.meter.CRCCheck(down)
+	}
+	if op.flags&opECCDecode != 0 {
+		n.meter.ECCDecode(down)
+	}
+	if op.flags&opNACKOut != 0 {
+		n.stats.RouterNACKOut(down)
+	}
+	switch {
+	case op.flags&opEject != 0:
+		n.nis[down].receive(op.f, cycle)
+		n.lastProgress = cycle
+	case op.flags&opAccept != 0:
+		dr := n.routers[down]
+		vcBuf := dr.inputs[op.inPort][op.f.VC]
+		if vcBuf.full() {
+			panic(fmt.Sprintf("network: credit protocol violated: router %d port %v vc %d overflow",
+				down, op.inPort, op.f.VC))
+		}
+		vcBuf.push(op.f, cycle+pipelineFill)
+		n.markPipe(down)
+		n.meter.BufferWrite(down)
+		n.stats.RouterFlitIn(down)
+		dr.winFlitsIn++
+		n.lastProgress = cycle
+		n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KAccept, Router: down,
+			Packet: op.f.Packet.ID, Aux: int64(op.f.Seq)})
+	}
 }
 
 // processAcks consumes ACK/NACK wire messages at the upstream port.
-func (n *Network) processAcks(r *Router, p *outputPort) {
+func (n *Network) processAcks(r *Router, p *outputPort, sh *shardState) {
 	keep := p.acks[:0]
 	for _, a := range p.acks {
 		if a.deliver > n.cycle {
@@ -713,7 +789,7 @@ func (n *Network) processAcks(r *Router, p *outputPort) {
 				}
 			}
 			// The SA stage services pending retransmissions; wake it.
-			n.markPipe(r.id)
+			n.markPipeCtx(r.id, sh)
 			continue
 		}
 		// Cumulative ACK: drop acknowledged entries from the front. The
@@ -722,7 +798,7 @@ func (n *Network) processAcks(r *Router, p *outputPort) {
 		// back to the flit pool.
 		popped := 0
 		for popped < len(p.unacked) && p.unacked[popped].seq <= a.seq {
-			n.fpool.Put(p.unacked[popped].f)
+			r.pool.Put(p.unacked[popped].f)
 			popped++
 		}
 		if popped > 0 {
@@ -942,7 +1018,7 @@ func (n *Network) routeAdaptive(r *Router, pkt *flit.Packet) topology.Direction 
 // saPortReady runs the per-output-port preamble of the SA stage:
 // retransmission service and pending mode switches. It reports whether
 // the port may grant a new flit this cycle.
-func (n *Network) saPortReady(r *Router, op *outputPort) bool {
+func (n *Network) saPortReady(r *Router, op *outputPort, sh *shardState) bool {
 	if op.dir != topology.Local && !op.hasDownstream() {
 		return false
 	}
@@ -951,7 +1027,7 @@ func (n *Network) saPortReady(r *Router, op *outputPort) bool {
 	}
 	// Retransmissions first: they own the channel until done.
 	if op.resendIdx >= 0 {
-		n.retransmit(r, op)
+		n.retransmit(r, op, sh)
 		return false
 	}
 	// A pending mode switch pauses new grants until the ARQ state
@@ -967,9 +1043,9 @@ func (n *Network) saPortReady(r *Router, op *outputPort) bool {
 
 // saTryGrant runs the SA stage body for candidate slot idx competing for
 // output port out; it reports whether the flit was granted and sent.
-func (n *Network) saTryGrant(r *Router, op *outputPort, out topology.Direction, idx, vcs int) bool {
+func (n *Network) saTryGrant(r *Router, op *outputPort, out topology.Direction, idx, vcs int, sh *shardState) bool {
 	port := topology.Direction(idx / vcs)
-	if n.inputUsed[port] {
+	if r.inputUsed[port] {
 		return false
 	}
 	vc := r.inputs[port][idx%vcs]
@@ -980,9 +1056,9 @@ func (n *Network) saTryGrant(r *Router, op *outputPort, out topology.Direction, 
 	if out != topology.Local && op.credits[vc.outVC] <= 0 {
 		return false
 	}
-	n.inputUsed[port] = true
+	r.inputUsed[port] = true
 	r.saRR[out] = idx + 1
-	n.grantAndSend(r, port, vc, op)
+	n.grantAndSend(r, port, vc, op, sh)
 	return true
 }
 
@@ -990,15 +1066,15 @@ func (n *Network) saTryGrant(r *Router, op *outputPort, out topology.Direction, 
 // retransmissions, then grants at most one flit per output port and one
 // per input port. Like routeAndAllocate, it walks only occupied VC slots
 // via the occupancy mask, in dense round-robin order.
-func (n *Network) switchAllocate(r *Router) {
-	for i := range n.inputUsed {
-		n.inputUsed[i] = false
+func (n *Network) switchAllocate(r *Router, sh *shardState) {
+	for i := range r.inputUsed {
+		r.inputUsed[i] = false
 	}
 	vcs := len(r.inputs[0])
 	total := int(topology.NumPorts) * vcs
 	for out := topology.Direction(0); out < topology.NumPorts; out++ {
 		op := r.outputs[out]
-		if !n.saPortReady(r, op) {
+		if !n.saPortReady(r, op, sh) {
 			continue
 		}
 		if r.occMask == 0 {
@@ -1009,14 +1085,14 @@ func (n *Network) switchAllocate(r *Router) {
 		for m := r.occMask &^ lowMask; m != 0; { // slots start..total-1
 			idx := bits.TrailingZeros64(m)
 			m &^= 1 << uint(idx)
-			if n.saTryGrant(r, op, out, idx, vcs) {
+			if n.saTryGrant(r, op, out, idx, vcs, sh) {
 				goto nextOut
 			}
 		}
 		for m := r.occMask & lowMask; m != 0; { // wrapped slots 0..start-1
 			idx := bits.TrailingZeros64(m)
 			m &^= 1 << uint(idx)
-			if n.saTryGrant(r, op, out, idx, vcs) {
+			if n.saTryGrant(r, op, out, idx, vcs, sh) {
 				break
 			}
 		}
@@ -1027,19 +1103,19 @@ func (n *Network) switchAllocate(r *Router) {
 // switchAllocateDense is the original full scan over all ports x VCs —
 // the referee implementation for switchAllocate.
 func (n *Network) switchAllocateDense(r *Router) {
-	for i := range n.inputUsed {
-		n.inputUsed[i] = false
+	for i := range r.inputUsed {
+		r.inputUsed[i] = false
 	}
 	vcs := len(r.inputs[0])
 	for out := topology.Direction(0); out < topology.NumPorts; out++ {
 		op := r.outputs[out]
-		if !n.saPortReady(r, op) {
+		if !n.saPortReady(r, op, nil) {
 			continue
 		}
 		total := int(topology.NumPorts) * vcs
 		start := r.saRR[out]
 		for k := 0; k < total; k++ {
-			if n.saTryGrant(r, op, out, (start+k)%total, vcs) {
+			if n.saTryGrant(r, op, out, (start+k)%total, vcs, nil) {
 				break
 			}
 		}
@@ -1048,7 +1124,7 @@ func (n *Network) switchAllocateDense(r *Router) {
 
 // grantAndSend pops the winning flit, traverses the switch and transmits
 // it on the output channel.
-func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC, op *outputPort) {
+func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC, op *outputPort, sh *shardState) {
 	f := vc.pop()
 	outVC := vc.outVC
 	n.meter.BufferRead(r.id)
@@ -1060,14 +1136,23 @@ func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC
 	case ControllerDT:
 		n.meter.DTCompute(r.id)
 	}
-	n.lastProgress = n.cycle
+	n.progressCtx(sh)
 
-	// Return the freed buffer slot upstream.
+	// Return the freed buffer slot upstream. Cross-router: staged on the
+	// shard and applied at commit when parallel. Each upstream port has
+	// exactly one downstream router that can grant it credits and at most
+	// one credit per cycle, so the appends commute across shards; commit
+	// still replays them in shard order for a canonical credRet layout.
 	if inPort != topology.Local {
 		if up, ok := n.topo.Neighbor(r.id, inPort); ok {
-			upPort := n.routers[up].outputs[inPort.Opposite()]
-			upPort.credRet = append(upPort.credRet, wireCredit{vc: f.VC, deliver: n.cycle + 1})
-			n.markWire(up)
+			if sh != nil {
+				sh.credits = append(sh.credits, creditOp{router: int32(up),
+					dir: inPort.Opposite(), vc: int8(f.VC)})
+			} else {
+				upPort := n.routers[up].outputs[inPort.Opposite()]
+				upPort.credRet = append(upPort.credRet, wireCredit{vc: f.VC, deliver: n.cycle + 1})
+				n.markWire(up)
+			}
 		}
 	} else if f.Type.IsTail() {
 		n.nis[r.id].releaseLocalVC(f.VC)
@@ -1086,17 +1171,17 @@ func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC
 		// Ejection: one cycle to the NI, no faults, no ARQ.
 		op.inflight = append(op.inflight, wireFlit{f: f, arrive: n.cycle + 1})
 		op.linkBusyUntil = n.cycle + 1
-		n.markWire(op.owner)
+		n.markWireCtx(op.owner, sh)
 		return
 	}
 
 	f.VC = outVC
-	n.transmit(r, op, f)
+	n.transmit(r, op, f, sh)
 }
 
 // transmit sends a flit on a link under the port's current mode, applying
 // ECC encoding, fault injection, ARQ bookkeeping and Mode 2 duplication.
-func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
+func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit, sh *shardState) {
 	mode := op.mode
 	seq := op.nextSeq
 	op.nextSeq++
@@ -1127,11 +1212,11 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 
 	wire := f
 	if eccOn {
-		wire = n.fpool.Clone(f) // the unacked entry keeps the pristine flit
+		wire = r.pool.Clone(f) // the unacked entry keeps the pristine flit
 	}
-	hit := n.corrupt(r, op, wire, eccOn)
+	hit := n.corrupt(r, op, wire, eccOn, sh)
 	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: seq, eccValid: eccOn,
-		dupFollows: mode == Mode2, corrupted: hit})
+		dupFollows: mode == Mode2, corrupted: hit}, sh)
 	n.meter.LinkScaled(r.id, op.wireScale)
 	n.stats.RouterFlitOut(r.id)
 	op.winSent++
@@ -1140,17 +1225,17 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit) {
 		Packet: f.Packet.ID, Aux: int64(f.Seq)})
 
 	if mode == Mode2 {
-		dup := n.fpool.Clone(op.unacked[len(op.unacked)-1].f)
-		hit := n.corrupt(r, op, dup, true)
+		dup := r.pool.Clone(op.unacked[len(op.unacked)-1].f)
+		hit := n.corrupt(r, op, dup, true, sh)
 		n.pushWire(op, wireFlit{f: dup, arrive: arrive + 1, seq: seq, eccValid: true,
-			isDup: true, corrupted: hit})
+			isDup: true, corrupted: hit}, sh)
 		n.meter.LinkScaled(r.id, op.wireScale)
-		n.stats.Measuref(func(c *statsCollector) { c.PreRetransmissions++ })
+		n.countStat(evPreRetransmissions, sh)
 	}
 }
 
 // retransmit re-sends the oldest NACKed entry on the channel.
-func (n *Network) retransmit(r *Router, op *outputPort) {
+func (n *Network) retransmit(r *Router, op *outputPort, sh *shardState) {
 	if op.resendIdx >= len(op.unacked) {
 		op.resendIdx = -1
 		return
@@ -1160,46 +1245,57 @@ func (n *Network) retransmit(r *Router, op *outputPort) {
 	if op.resendIdx >= len(op.unacked) {
 		op.resendIdx = -1
 	}
-	wire := n.fpool.Clone(e.f)
-	hit := n.corrupt(r, op, wire, true)
+	wire := r.pool.Clone(e.f)
+	hit := n.corrupt(r, op, wire, true, sh)
 	// Retransmissions go out singly (no Mode 2 duplicate) with the ECC
 	// stage enabled — only ECC-protected flits can be NACKed.
 	arrive := n.cycle + 2 // link + ECC stage
 	n.pushWire(op, wireFlit{f: wire, arrive: arrive, seq: e.seq, eccValid: true,
-		isRetx: true, corrupted: hit})
+		isRetx: true, corrupted: hit}, sh)
 	op.linkBusyUntil = n.cycle + 1
 	n.meter.LinkScaled(r.id, op.wireScale)
-	n.stats.Measuref(func(c *statsCollector) { c.LinkRetransmissions++ })
-	n.lastProgress = n.cycle
+	n.countStat(evLinkRetransmissions, sh)
+	n.progressCtx(sh)
 	n.elog.Record(eventlog.Event{Cycle: n.cycle, Kind: eventlog.KRetx, Router: r.id,
 		Packet: e.f.Packet.ID, Aux: int64(e.f.Seq)})
 }
 
 // pushWire appends an in-flight flit, enforcing monotone arrival order so
 // mode switches can never reorder a link.
-func (n *Network) pushWire(op *outputPort, wf wireFlit) {
+func (n *Network) pushWire(op *outputPort, wf wireFlit, sh *shardState) {
 	if k := len(op.inflight); k > 0 && wf.arrive <= op.inflight[k-1].arrive {
 		wf.arrive = op.inflight[k-1].arrive + 1
 	}
 	op.inflight = append(op.inflight, wf)
-	n.markWire(op.owner)
+	n.markWireCtx(op.owner, sh)
 }
 
 // corrupt samples the link's timing-error process and flips payload bits,
 // reporting whether the flit was hit. Control packets ride error-hardened
 // signaling and are never corrupted (the paper's ACK wires are likewise
-// assumed error-free). The RNG draw happens for every Data flit even at
-// errProb zero — the determinism pin fixes the draw sequence, so skipping
-// a draw would shift every later sample.
+// assumed error-free).
+//
+// Draws come from a counter-based stream keyed on (seed, link, cycle),
+// rekeyed lazily on the port's first draw each cycle. A link makes at
+// most one transmission decision per cycle — either a new flit (plus its
+// Mode 2 duplicate) or one go-back-N retransmission, never both — so all
+// of a cycle's draws on a link advance this one stream in a fixed order
+// no matter which worker runs the router or how many workers exist. The
+// draw still happens for every Data flit even at errProb zero, keeping
+// the original/duplicate positions within the stream fixed.
 //
 // eccPending asks corrupt to materialize the flit's SECDED check bits
 // (deferred by transmit) over the pre-corruption payload before flipping,
 // preserving what an eager encoder would have stored.
-func (n *Network) corrupt(r *Router, op *outputPort, f *flit.Flit, eccPending bool) bool {
+func (n *Network) corrupt(r *Router, op *outputPort, f *flit.Flit, eccPending bool, sh *shardState) bool {
 	if f.Packet.Kind != flit.Data {
 		return false
 	}
-	nbits := n.faults.SampleErrorBits(n.rng, op.errProb)
+	if op.rngCycle != n.cycle {
+		op.rngCycle = n.cycle
+		op.rng = detrand.New(n.cfg.Seed, detrand.DomainLink, uint64(op.linkID), uint64(n.cycle))
+	}
+	nbits := n.faults.SampleErrorBits(&op.rng, op.errProb)
 	if nbits == 0 {
 		return false
 	}
@@ -1208,9 +1304,9 @@ func (n *Network) corrupt(r *Router, op *outputPort, f *flit.Flit, eccPending bo
 			f.ECCCheck[w] = coding.EncodeSECDED(f.Payload[w])
 		}
 	}
-	fault.FlipBits(n.rng, f.Payload[:], nbits)
+	fault.FlipBits(&op.rng, f.Payload[:], nbits)
 	f.Dirty = true
-	n.stats.Measuref(func(c *statsCollector) { c.ErrorsInjected++ })
+	n.countStat(evErrorsInjected, sh)
 	r.winErrEvents++
 	return true
 }

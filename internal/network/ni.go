@@ -32,6 +32,17 @@ type NI struct {
 	reasmFree [][]*flit.Flit
 
 	rng *rand.Rand
+
+	// pool is the flit pool this NI draws from and frees to: the
+	// network-wide pool when stepping sequentially, the owning shard's
+	// when stepping in parallel (invisible to results; see Router.pool).
+	pool *flit.Pool
+
+	// sh is the owning shard in a parallel layout (nil otherwise). Only
+	// the injection path consults it, and only while Network.inParallel:
+	// injection runs on a worker there and must stage its pipe-activity
+	// mark instead of touching the shared set.
+	sh *shardState
 }
 
 // txState tracks a packet being streamed into the local input port.
@@ -49,6 +60,7 @@ func newNI(id int, vcs int, net *Network, seed int64) *NI {
 		replay:      make(map[uint64]*flit.Packet),
 		reasm:       make(map[uint64][]*flit.Flit),
 		rng:         rand.New(rand.NewSource(seed)),
+		pool:        &net.fpool,
 	}
 }
 
@@ -127,7 +139,11 @@ func (ni *NI) injectClass(cycle int64, cur **txState, queue *[]*flit.Packet, con
 	f := ni.makeFlit(st.pkt, st.next)
 	f.VC = st.vc
 	vcBuf.push(f, cycle+pipelineFill)
-	ni.net.markPipe(ni.id)
+	if ni.net.inParallel {
+		ni.sh.setPipe(ni.id)
+	} else {
+		ni.net.markPipe(ni.id)
+	}
 	ni.net.meter.BufferWrite(ni.id)
 	ni.net.meter.CRCCheck(ni.id) // source CRC encode
 	st.next++
@@ -157,7 +173,7 @@ func (ni *NI) releaseLocalVC(vc int) { ni.localVCBusy[vc] = false }
 // makeFlit materializes flit seq of a packet from its pristine payload,
 // drawing the struct from the network's flit pool.
 func (ni *NI) makeFlit(p *flit.Packet, seq int) *flit.Flit {
-	f := ni.net.fpool.Get()
+	f := ni.pool.Get()
 	f.Packet = p
 	f.Seq = seq
 	f.Type = p.TypeOf(seq)
@@ -188,7 +204,7 @@ func (ni *NI) receive(f *flit.Flit, cycle int64) {
 	flits := buf
 	defer func() {
 		for i, fl := range flits {
-			ni.net.fpool.Put(fl)
+			ni.pool.Put(fl)
 			flits[i] = nil
 		}
 		ni.reasmFree = append(ni.reasmFree, flits[:0])

@@ -1,0 +1,485 @@
+package network
+
+// Sharded parallel stepping (DESIGN.md §11).
+//
+// Step's four per-cycle phases fan out across a bounded pool of worker
+// goroutines, each owning a contiguous range of router IDs. Within a
+// phase a worker runs the *same* handler bodies as the sequential path,
+// mutating only state its own routers/NIs own; every effect that crosses
+// a shard boundary (buffer pushes and meter/stat charges on a downstream
+// router, NI ejection, credit returns to an upstream port, activity-set
+// marks, global counters, the watchdog progress stamp) is staged in
+// per-shard buffers and applied by the main goroutine between phases.
+//
+// Determinism argument, in short: the commit replays staged effects in
+// shard order, and shards partition router IDs contiguously and in
+// ascending order — so the commit order is exactly the ascending-ID
+// order the sequential walk uses. Effects that commute (per-router
+// int/int64 counters, single-writer slice elements, OR-ing activity
+// bits, at-most-one-per-target pushes) need no ordering at all; the only
+// order-sensitive effects are NI ejections (they touch global latency
+// floats and may enqueue control packets, advancing the shared packet
+// sequence), and those replay in the sequential order. Per-link fault
+// randomness comes from counter-based streams keyed on (seed, link,
+// cycle), so draw sequences are independent of execution order entirely.
+// Hence: bit-identical results at a fixed seed for every worker count.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"rlnoc/internal/flit"
+	"rlnoc/internal/topology"
+)
+
+// wireOp is the staged downstream half of one link arrival (or local
+// ejection): which router it lands on and which effects to apply there.
+type wireOp struct {
+	f      *flit.Flit
+	down   int32
+	inPort topology.Direction
+	flags  uint8
+}
+
+const (
+	opCRCCheck  uint8 = 1 << iota // charge CRC-snoop energy at down
+	opECCDecode                   // charge SECDED decode energy at down
+	opNACKOut                     // count a NACK sent by down
+	opAccept                      // push f into down's input VC
+	opEject                       // hand f to down's NI
+)
+
+// creditOp is a staged credit return to an upstream router's output port
+// (always delivered at cycle+1, so the deliver stamp is implicit).
+type creditOp struct {
+	router int32
+	dir    topology.Direction
+	vc     int8
+}
+
+// statEvent indexes the global Collector counters that phase handlers
+// bump. Workers accumulate them in a per-shard delta (pre-gated on
+// Measuring(), which only changes between cycles); the sequential path
+// goes through Measuref exactly as before.
+type statEvent uint8
+
+const (
+	evErrorsInjected statEvent = iota
+	evECCCorrections
+	evECCDetections
+	evLinkNACKs
+	evPreRetransmissions
+	evLinkRetransmissions
+	numStatEvents
+)
+
+// shardState is one worker's slice of the fabric plus its staging
+// buffers. All buffers are reset (length zero, backing arrays kept) by
+// the commits, so steady-state parallel stepping allocates nothing.
+type shardState struct {
+	lo, hi int // router ID range [lo, hi)
+
+	// pool is this shard's private flit pool. Flits are fully reset on
+	// Get and carry no pool identity, so which pool served a flit is
+	// invisible to simulation results; private pools just remove the
+	// only remaining cross-shard mutation in the compute phases.
+	pool flit.Pool
+
+	ops     []wireOp   // phase 1: staged downstream arrival effects
+	credits []creditOp // phase 4: staged upstream credit returns
+
+	// Staged activity-set marks (bit per router), merged by OR at commit.
+	wireMarks []uint64
+	pipeMarks []uint64
+
+	// Staged activity-set removals. A handler only ever drops the router
+	// it just ran, after seeing it quiet, so removals cannot conflict
+	// with each other; they are applied after the phase's marks merge.
+	wireDrops []int
+	niDrops   []int
+	pipeDrops []int
+
+	d        [numStatEvents]int64 // staged global-counter increments
+	progress bool                 // staged lastProgress = current cycle
+}
+
+func (sh *shardState) setWire(id int) { sh.wireMarks[id>>6] |= 1 << uint(id&63) }
+func (sh *shardState) setPipe(id int) { sh.pipeMarks[id>>6] |= 1 << uint(id&63) }
+
+// markWireCtx/markPipeCtx/progressCtx are the staging seams used inside
+// shared phase bodies: direct on the sequential/dense paths (sh == nil),
+// staged on the shard during a parallel compute pass.
+func (n *Network) markWireCtx(id int, sh *shardState) {
+	if sh != nil {
+		sh.setWire(id)
+		return
+	}
+	n.markWire(id)
+}
+
+func (n *Network) markPipeCtx(id int, sh *shardState) {
+	if sh != nil {
+		sh.setPipe(id)
+		return
+	}
+	n.markPipe(id)
+}
+
+func (n *Network) progressCtx(sh *shardState) {
+	if sh != nil {
+		sh.progress = true
+		return
+	}
+	n.lastProgress = n.cycle
+}
+
+// countStat bumps one global counter: staged when parallel, through the
+// collector's Measuref gate when sequential. The parallel pre-gate reads
+// Measuring() during compute, which is safe because measurement toggles
+// only between cycles.
+func (n *Network) countStat(ev statEvent, sh *shardState) {
+	if sh != nil {
+		if n.stats.Measuring() {
+			sh.d[ev]++
+		}
+		return
+	}
+	switch ev {
+	case evErrorsInjected:
+		n.stats.Measuref(func(c *statsCollector) { c.ErrorsInjected++ })
+	case evECCCorrections:
+		n.stats.Measuref(func(c *statsCollector) { c.ECCCorrections++ })
+	case evECCDetections:
+		n.stats.Measuref(func(c *statsCollector) { c.ECCDetections++ })
+	case evLinkNACKs:
+		n.stats.Measuref(func(c *statsCollector) { c.LinkNACKs++ })
+	case evPreRetransmissions:
+		n.stats.Measuref(func(c *statsCollector) { c.PreRetransmissions++ })
+	case evLinkRetransmissions:
+		n.stats.Measuref(func(c *statsCollector) { c.LinkRetransmissions++ })
+	}
+}
+
+// applyStatDelta folds a shard's staged counter increments into the
+// collector and clears the delta.
+func (n *Network) applyStatDelta(sh *shardState) {
+	d := &sh.d
+	c := n.stats
+	c.ErrorsInjected += d[evErrorsInjected]
+	c.ECCCorrections += d[evECCCorrections]
+	c.ECCDetections += d[evECCDetections]
+	c.LinkNACKs += d[evLinkNACKs]
+	c.PreRetransmissions += d[evPreRetransmissions]
+	c.LinkRetransmissions += d[evLinkRetransmissions]
+	*d = [numStatEvents]int64{}
+}
+
+// resolveStepWorkers turns the configured worker count into the
+// effective one: explicit config wins, then the RLNOC_STEP_WORKERS
+// environment variable, then the sequential default of 1; the result is
+// clamped to [1, nodes].
+func resolveStepWorkers(cfg, nodes int) int {
+	w := cfg
+	if w == 0 {
+		if s := os.Getenv("RLNOC_STEP_WORKERS"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				w = v
+			}
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > nodes {
+		w = nodes
+	}
+	return w
+}
+
+// buildShards partitions router IDs into workers contiguous ranges and
+// points each router/NI at its shard's flit pool and staging state.
+func (n *Network) buildShards() {
+	nodes := n.topo.Nodes()
+	words := (nodes + 63) / 64
+	n.shards = make([]shardState, n.workers)
+	for w := range n.shards {
+		sh := &n.shards[w]
+		sh.lo = w * nodes / n.workers
+		sh.hi = (w + 1) * nodes / n.workers
+		sh.wireMarks = make([]uint64, words)
+		sh.pipeMarks = make([]uint64, words)
+		for id := sh.lo; id < sh.hi; id++ {
+			n.routers[id].pool = &sh.pool
+			n.nis[id].pool = &sh.pool
+			n.nis[id].sh = sh
+		}
+	}
+}
+
+// resetLayout points every router and NI back at the network-wide pool
+// (the workers == 1 layout).
+func (n *Network) resetLayout() {
+	for id := range n.routers {
+		n.routers[id].pool = &n.fpool
+		n.nis[id].pool = &n.fpool
+		n.nis[id].sh = nil
+	}
+}
+
+// poolTotals aggregates Get/new/Put counts and free-list sizes across
+// the network pool and all shard pools (the pool-balance invariants hold
+// for the aggregate, not per pool, once flits migrate across shards).
+func (n *Network) poolTotals() (gets, news, puts int64, size int) {
+	gets, news, puts = n.fpool.Stats()
+	size = n.fpool.Size()
+	for i := range n.shards {
+		g, nw, p := n.shards[i].pool.Stats()
+		gets += g
+		news += nw
+		puts += p
+		size += n.shards[i].pool.Size()
+	}
+	return
+}
+
+// Phase identifiers dispatched to workers.
+const (
+	phaseWires = iota
+	phaseInject
+	phaseRoute
+	phaseSwitch
+)
+
+// workerHub owns the persistent worker goroutines. fn is set around each
+// dispatch round and cleared while idle so an idle hub holds no path
+// back to the Network, letting the finalizer fire if the owner forgets
+// Close.
+type workerHub struct {
+	start []chan int
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	fn    func(w, phase int)
+}
+
+func hubWorker(hub *workerHub, w int) {
+	start := hub.start[w]
+	for {
+		select {
+		case phase := <-start:
+			hub.fn(w, phase)
+			hub.wg.Done()
+		case <-hub.stop:
+			return
+		}
+	}
+}
+
+// ensureHub lazily spawns the worker goroutines on the first parallel
+// step.
+func (n *Network) ensureHub() {
+	if n.hub != nil {
+		return
+	}
+	hub := &workerHub{start: make([]chan int, len(n.shards)), stop: make(chan struct{})}
+	for w := range hub.start {
+		hub.start[w] = make(chan int, 1)
+		go hubWorker(hub, w)
+	}
+	n.hub = hub
+	runtime.SetFinalizer(n, finalizeNetwork)
+}
+
+func finalizeNetwork(n *Network) { n.Close() }
+
+// Close stops the worker goroutines. Safe to call multiple times and on
+// networks that never stepped in parallel; a finalizer also runs it, so
+// leaking a Network cannot leak its workers.
+func (n *Network) Close() {
+	if n.hub != nil {
+		close(n.hub.stop)
+		n.hub = nil
+	}
+}
+
+// runPhase dispatches one phase to every worker and waits for all of
+// them. The channel send/receive pairs order the main goroutine's writes
+// (cycle, committed state) before the workers' reads, and wg.Wait orders
+// the workers' writes before the subsequent commit reads them.
+func (n *Network) runPhase(phase int) {
+	hub := n.hub
+	hub.fn = n.runShardPhase
+	hub.wg.Add(len(hub.start))
+	for _, c := range hub.start {
+		c <- phase
+	}
+	hub.wg.Wait()
+	hub.fn = nil
+}
+
+// runShardPhase executes one phase's compute pass over one shard. The
+// bodies are the sequential handlers with sh as the staging seam;
+// iteration is in ascending ID order within the shard, and shards are
+// ascending disjoint ranges, so the union of all shard walks visits
+// exactly the routers the sequential walk visits.
+func (n *Network) runShardPhase(w, phase int) {
+	sh := &n.shards[w]
+	switch phase {
+	case phaseWires:
+		n.wireActive.forEachIn(sh.lo, sh.hi, func(id int) {
+			r := n.routers[id]
+			n.stepWires(r, sh)
+			if r.wiresQuiet() {
+				sh.wireDrops = append(sh.wireDrops, id)
+			}
+		})
+	case phaseInject:
+		n.niActive.forEachIn(sh.lo, sh.hi, func(id int) {
+			ni := n.nis[id]
+			ni.inject(n.cycle)
+			if ni.quiet() {
+				sh.niDrops = append(sh.niDrops, id)
+			}
+		})
+	case phaseRoute:
+		n.pipeActive.forEachIn(sh.lo, sh.hi, func(id int) {
+			n.routeAndAllocate(n.routers[id])
+		})
+	case phaseSwitch:
+		n.pipeActive.forEachIn(sh.lo, sh.hi, func(id int) {
+			r := n.routers[id]
+			n.switchAllocate(r, sh)
+			if r.pipeQuiet() {
+				sh.pipeDrops = append(sh.pipeDrops, id)
+			}
+		})
+	}
+}
+
+// stepParallel runs one cycle's four phases sharded across the worker
+// pool, committing staged cross-shard effects between phases.
+func (n *Network) stepParallel() {
+	n.ensureHub()
+	n.inParallel = true
+
+	// Phase 1: arrivals, ACK/NACK wires, credit returns, VC releases.
+	n.runPhase(phaseWires)
+	n.commitWires()
+
+	// Phase 2: NI injection (may consume control packets enqueued by the
+	// phase-1 commit's ejections, same as the sequential order).
+	n.runPhase(phaseInject)
+	n.commitInject()
+
+	// Phases 3+4: RC/VA then SA/ST. No commit between them — phase 3
+	// touches only per-router state — but the barrier stays: sequential
+	// stepping finishes RC/VA on every router before any SA runs.
+	n.runPhase(phaseRoute)
+	n.runPhase(phaseSwitch)
+	n.commitSwitch()
+
+	n.inParallel = false
+}
+
+// commitWires applies phase 1's staged effects: every arrival's
+// downstream half in ascending (router, port) order — shard
+// concatenation order is exactly that — then counter deltas, pipeline
+// marks and activity drops.
+func (n *Network) commitWires() {
+	for w := range n.shards {
+		sh := &n.shards[w]
+		for i := range sh.ops {
+			n.applyWireOp(sh.ops[i])
+			sh.ops[i] = wireOp{} // drop the flit reference
+		}
+		sh.ops = sh.ops[:0]
+	}
+	for w := range n.shards {
+		sh := &n.shards[w]
+		n.applyStatDelta(sh)
+		if sh.progress {
+			n.lastProgress = n.cycle
+			sh.progress = false
+		}
+		n.pipeActive.merge(sh.pipeMarks)
+		for _, id := range sh.wireDrops {
+			n.wireActive.remove(id)
+		}
+		sh.wireDrops = sh.wireDrops[:0]
+	}
+}
+
+// commitInject merges phase 2's pipeline marks and NI drops.
+func (n *Network) commitInject() {
+	for w := range n.shards {
+		sh := &n.shards[w]
+		n.pipeActive.merge(sh.pipeMarks)
+		for _, id := range sh.niDrops {
+			n.niActive.remove(id)
+		}
+		sh.niDrops = sh.niDrops[:0]
+	}
+}
+
+// commitSwitch applies phase 4's staged effects: credit returns to
+// upstream ports (at most one per port per cycle, so order across
+// shards cannot matter; replayed in shard order anyway), wire-activity
+// marks, counter deltas, progress and pipeline drops.
+func (n *Network) commitSwitch() {
+	for w := range n.shards {
+		sh := &n.shards[w]
+		for _, c := range sh.credits {
+			upPort := n.routers[c.router].outputs[c.dir]
+			upPort.credRet = append(upPort.credRet, wireCredit{vc: int(c.vc), deliver: n.cycle + 1})
+			n.markWire(int(c.router))
+		}
+		sh.credits = sh.credits[:0]
+		n.wireActive.merge(sh.wireMarks)
+		n.applyStatDelta(sh)
+		if sh.progress {
+			n.lastProgress = n.cycle
+			sh.progress = false
+		}
+		for _, id := range sh.pipeDrops {
+			n.pipeActive.remove(id)
+		}
+		sh.pipeDrops = sh.pipeDrops[:0]
+	}
+}
+
+// SetSequential forces the fully-ordered single-worker reference walk
+// regardless of the configured worker count — the referee path for
+// TestParallelStepMatchesSequential, the parallel sibling of
+// SetDenseScan's dense referee.
+func (n *Network) SetSequential(seq bool) { n.forceSeq = seq }
+
+// StepWorkers returns the resolved worker count.
+func (n *Network) StepWorkers() int { return n.workers }
+
+// SetStepWorkers re-shards the fabric to k workers (clamped to
+// [1, nodes]) at a cycle boundary. Existing flits keep circulating;
+// pools are re-pointed, which is invisible to results.
+func (n *Network) SetStepWorkers(k int) {
+	if k < 1 {
+		k = 1
+	}
+	if nodes := n.topo.Nodes(); k > nodes {
+		k = nodes
+	}
+	if k == n.workers {
+		return
+	}
+	if n.inParallel {
+		panic(fmt.Sprintf("network: SetStepWorkers(%d) called mid-step", k))
+	}
+	n.Close()
+	n.workers = k
+	n.shards = nil
+	if k > 1 {
+		n.buildShards()
+	} else {
+		n.resetLayout()
+	}
+}

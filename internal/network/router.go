@@ -3,6 +3,7 @@ package network
 import (
 	"math/bits"
 
+	"rlnoc/internal/detrand"
 	"rlnoc/internal/flit"
 	"rlnoc/internal/topology"
 )
@@ -148,6 +149,19 @@ type outputPort struct {
 	// Cached per-flit error probability, refreshed each thermal window.
 	errProb float64
 
+	// linkID is the topology-global link index behind this port (-1 for
+	// Local ports, which have no physical link). It keys the per-cycle
+	// fault-injection RNG stream below.
+	linkID int
+
+	// rng is the counter-based fault stream for this link, rekeyed lazily
+	// to (seed, DomainLink, linkID, cycle) on first use each cycle so the
+	// original and its Mode 2 duplicate advance one stream in a fixed
+	// order regardless of which worker, or how many workers, run the
+	// owning router. rngCycle records the cycle the stream was keyed for.
+	rng      detrand.Stream
+	rngCycle int64
+
 	// wireScale is the physical wire length behind this port in tile
 	// pitches (1 for mesh links, row/column span for torus wrap links);
 	// it multiplies the per-traversal link energy.
@@ -210,6 +224,17 @@ type Router struct {
 	// Window counters for controller features.
 	winFlitsIn  int64
 	winErrEvents int64
+
+	// inputUsed marks input ports already granted this cycle's switch
+	// allocation. Per-router (not per-network) so parallel shards never
+	// share it; switchAllocate clears it before arbitration.
+	inputUsed [topology.NumPorts]bool
+
+	// pool is the flit pool this router allocates from and frees to.
+	// Points at the network-wide pool when stepping sequentially and at
+	// the owning shard's pool when stepping in parallel; flits carry no
+	// pool identity, so the choice is invisible to simulation results.
+	pool *flit.Pool
 }
 
 func newRouter(id int, vcs, vcDepth int) *Router {

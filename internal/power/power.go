@@ -139,55 +139,104 @@ func (e Event) String() string {
 }
 
 // Meter accumulates dynamic and static energy per router plus a resettable
-// window used for thermal coupling and RL rewards. Not safe for
-// concurrent use.
+// window used for thermal coupling and RL rewards.
+//
+// Dynamic energy is stored as exact per-(router, event) int64 counts and
+// materialized as count x unit-energy only on read. That representation
+// is what makes the parallel Step() path deterministic: integer counter
+// increments commute, so the energy read back is independent of the
+// order in which routers recorded their events — unlike the old
+// floating-point accumulators, whose low bits depended on global event
+// order. The only per-event float state is the per-router link-length
+// scale sum, which is written exclusively by the router's owning worker
+// in its own deterministic port order.
+//
+// Concurrency: event-recording methods (BufferWrite .. OutputBuffer,
+// LinkScaled) may be called concurrently for *distinct* routers; all
+// other methods (reads, static charging, WindowReset) are single-
+// threaded, which matches the simulator's sequential commit/epoch
+// phases.
 type Meter struct {
-	p Params
-	n int
+	p    Params
+	n    int
+	unit [numEvents]float64 // pJ per event occurrence (Link at scale 1)
 
-	energy [numEvents]float64 // pJ per event class, network-wide
+	cnt    []int64 // n x numEvents cumulative event counts, router-major
+	winCnt []int64 // n x numEvents counts since the last WindowReset
 
-	dynamicPJ []float64 // per-router cumulative dynamic energy
-	staticPJ  []float64 // per-router cumulative static energy
+	// linkScale sums the tile-pitch scale of every link traversal per
+	// router (== the EvLink count on a mesh, larger when torus wrap
+	// links charge their physical span).
+	linkScale    []float64
+	winLinkScale []float64
 
-	windowDynPJ    []float64 // per-router dynamic energy this window
+	staticPJ       []float64 // per-router cumulative static energy
 	windowStaticPJ []float64
-	counts         [numEvents]int64
 }
 
 // NewMeter builds a meter for n routers.
 func NewMeter(p Params, n int) *Meter {
-	return &Meter{
+	m := &Meter{
 		p:              p,
 		n:              n,
-		dynamicPJ:      make([]float64, n),
+		cnt:            make([]int64, n*int(numEvents)),
+		winCnt:         make([]int64, n*int(numEvents)),
+		linkScale:      make([]float64, n),
+		winLinkScale:   make([]float64, n),
 		staticPJ:       make([]float64, n),
-		windowDynPJ:    make([]float64, n),
 		windowStaticPJ: make([]float64, n),
 	}
+	m.unit = [numEvents]float64{
+		EvBufferWrite:  p.BufferWritePJ,
+		EvBufferRead:   p.BufferReadPJ,
+		EvCrossbar:     p.CrossbarPJ,
+		EvArbitration:  p.ArbitrationPJ,
+		EvLink:         p.LinkPJ,
+		EvECCEncode:    p.ECCEncodePJ,
+		EvECCDecode:    p.ECCDecodePJ,
+		EvCRCCheck:     p.CRCCheckPJ,
+		EvRLCompute:    p.RLComputePJ,
+		EvDTCompute:    p.DTComputePJ,
+		EvOutputBuffer: p.OutputBufferPJ,
+	}
+	return m
 }
 
 // Params returns the meter's event-energy parameters.
 func (m *Meter) Params() Params { return m.p }
 
-func (m *Meter) record(router int, ev Event, pj float64) {
-	m.energy[ev] += pj
-	m.counts[ev]++
-	m.dynamicPJ[router] += pj
-	m.windowDynPJ[router] += pj
+func (m *Meter) record(router int, ev Event) {
+	i := router*int(numEvents) + int(ev)
+	m.cnt[i]++
+	m.winCnt[i]++
+}
+
+// routerDynamicPJ materializes one router's dynamic energy from its
+// event counts: sum(count x unit) for every class, with the link class
+// weighted by the accumulated length scale instead of the raw count.
+func (m *Meter) routerDynamicPJ(r int, cnt []int64, scale []float64) float64 {
+	row := cnt[r*int(numEvents) : (r+1)*int(numEvents)]
+	var pj float64
+	for ev, c := range row {
+		if Event(ev) == EvLink {
+			continue
+		}
+		pj += float64(c) * m.unit[ev]
+	}
+	return pj + m.p.LinkPJ*scale[r]
 }
 
 // BufferWrite records an input-VC buffer write at router r.
-func (m *Meter) BufferWrite(r int) { m.record(r, EvBufferWrite, m.p.BufferWritePJ) }
+func (m *Meter) BufferWrite(r int) { m.record(r, EvBufferWrite) }
 
 // BufferRead records an input-VC buffer read at router r.
-func (m *Meter) BufferRead(r int) { m.record(r, EvBufferRead, m.p.BufferReadPJ) }
+func (m *Meter) BufferRead(r int) { m.record(r, EvBufferRead) }
 
 // Crossbar records a crossbar traversal at router r.
-func (m *Meter) Crossbar(r int) { m.record(r, EvCrossbar, m.p.CrossbarPJ) }
+func (m *Meter) Crossbar(r int) { m.record(r, EvCrossbar) }
 
 // Arbitration records a switch/VC arbitration at router r.
-func (m *Meter) Arbitration(r int) { m.record(r, EvArbitration, m.p.ArbitrationPJ) }
+func (m *Meter) Arbitration(r int) { m.record(r, EvArbitration) }
 
 // Link records a link traversal leaving router r over a wire one tile
 // pitch long.
@@ -196,27 +245,31 @@ func (m *Meter) Link(r int) { m.LinkScaled(r, 1) }
 // LinkScaled records a link traversal leaving router r over a wire
 // `scale` tile pitches long: link energy is dominated by wire
 // capacitance, which grows linearly with length, so torus wraparound
-// links charge their full physical span. scale 1 is exact (LinkPJ * 1.0
-// has no rounding), keeping mesh results bit-identical to Link.
-func (m *Meter) LinkScaled(r int, scale float64) { m.record(r, EvLink, m.p.LinkPJ*scale) }
+// links charge their full physical span. The scale sum is per-router
+// float state, written only by the code that owns router r.
+func (m *Meter) LinkScaled(r int, scale float64) {
+	m.record(r, EvLink)
+	m.linkScale[r] += scale
+	m.winLinkScale[r] += scale
+}
 
 // ECCEncode records a SECDED encode at router r's output.
-func (m *Meter) ECCEncode(r int) { m.record(r, EvECCEncode, m.p.ECCEncodePJ) }
+func (m *Meter) ECCEncode(r int) { m.record(r, EvECCEncode) }
 
 // ECCDecode records a SECDED decode at router r's input.
-func (m *Meter) ECCDecode(r int) { m.record(r, EvECCDecode, m.p.ECCDecodePJ) }
+func (m *Meter) ECCDecode(r int) { m.record(r, EvECCDecode) }
 
 // CRCCheck records a network-interface CRC check at router r.
-func (m *Meter) CRCCheck(r int) { m.record(r, EvCRCCheck, m.p.CRCCheckPJ) }
+func (m *Meter) CRCCheck(r int) { m.record(r, EvCRCCheck) }
 
 // RLCompute records the per-flit RL controller overhead at router r.
-func (m *Meter) RLCompute(r int) { m.record(r, EvRLCompute, m.p.RLComputePJ) }
+func (m *Meter) RLCompute(r int) { m.record(r, EvRLCompute) }
 
 // DTCompute records the per-flit decision-tree controller overhead.
-func (m *Meter) DTCompute(r int) { m.record(r, EvDTCompute, m.p.DTComputePJ) }
+func (m *Meter) DTCompute(r int) { m.record(r, EvDTCompute) }
 
 // OutputBuffer records a retransmission-buffer write at router r.
-func (m *Meter) OutputBuffer(r int) { m.record(r, EvOutputBuffer, m.p.OutputBufferPJ) }
+func (m *Meter) OutputBuffer(r int) { m.record(r, EvOutputBuffer) }
 
 // AddStaticCycles charges leakage for `cycles` cycles at router r at the
 // leakage reference temperature. eccFraction in [0,1] is the share of the
@@ -248,7 +301,9 @@ func (m *Meter) AddStaticCyclesAt(r int, cycles int64, eccFraction float64, cycl
 }
 
 // DynamicPJ returns router r's cumulative dynamic energy.
-func (m *Meter) DynamicPJ(r int) float64 { return m.dynamicPJ[r] }
+func (m *Meter) DynamicPJ(r int) float64 {
+	return m.routerDynamicPJ(r, m.cnt, m.linkScale)
+}
 
 // StaticPJ returns router r's cumulative static energy.
 func (m *Meter) StaticPJ(r int) float64 { return m.staticPJ[r] }
@@ -256,8 +311,8 @@ func (m *Meter) StaticPJ(r int) float64 { return m.staticPJ[r] }
 // TotalDynamicPJ returns network-wide dynamic energy.
 func (m *Meter) TotalDynamicPJ() float64 {
 	var sum float64
-	for _, e := range m.dynamicPJ {
-		sum += e
+	for r := 0; r < m.n; r++ {
+		sum += m.routerDynamicPJ(r, m.cnt, m.linkScale)
 	}
 	return sum
 }
@@ -276,24 +331,44 @@ func (m *Meter) TotalPJ() float64 { return m.TotalDynamicPJ() + m.TotalStaticPJ(
 
 // EventEnergyPJ returns the network-wide energy attributed to one event
 // class.
-func (m *Meter) EventEnergyPJ(ev Event) float64 { return m.energy[ev] }
+func (m *Meter) EventEnergyPJ(ev Event) float64 {
+	if ev == EvLink {
+		var scale float64
+		for _, s := range m.linkScale {
+			scale += s
+		}
+		return m.p.LinkPJ * scale
+	}
+	return float64(m.EventCount(ev)) * m.unit[ev]
+}
 
-// EventCount returns how many events of a class occurred.
-func (m *Meter) EventCount(ev Event) int64 { return m.counts[ev] }
+// EventCount returns how many events of a class occurred network-wide.
+func (m *Meter) EventCount(ev Event) int64 {
+	var sum int64
+	for r := 0; r < m.n; r++ {
+		sum += m.cnt[r*int(numEvents)+int(ev)]
+	}
+	return sum
+}
 
 // WindowDynamicPJ returns router r's dynamic energy since the last
 // WindowReset.
-func (m *Meter) WindowDynamicPJ(r int) float64 { return m.windowDynPJ[r] }
+func (m *Meter) WindowDynamicPJ(r int) float64 {
+	return m.routerDynamicPJ(r, m.winCnt, m.winLinkScale)
+}
 
 // WindowTotalPJ returns router r's total energy since the last WindowReset.
 func (m *Meter) WindowTotalPJ(r int) float64 {
-	return m.windowDynPJ[r] + m.windowStaticPJ[r]
+	return m.WindowDynamicPJ(r) + m.windowStaticPJ[r]
 }
 
 // WindowReset zeroes the per-window accumulators.
 func (m *Meter) WindowReset() {
-	for i := range m.windowDynPJ {
-		m.windowDynPJ[i] = 0
+	for i := range m.winCnt {
+		m.winCnt[i] = 0
+	}
+	for i := range m.winLinkScale {
+		m.winLinkScale[i] = 0
 		m.windowStaticPJ[i] = 0
 	}
 }
@@ -307,7 +382,7 @@ func (m *Meter) TilePowerW(r int, windowCycles int64, cyclePeriodNS, coreActivit
 		return m.p.CoreIdleW
 	}
 	windowNS := float64(windowCycles) * cyclePeriodNS
-	routerW := (m.windowDynPJ[r] + m.windowStaticPJ[r]) / windowNS / 1000 // pJ/ns = mW
+	routerW := m.WindowTotalPJ(r) / windowNS / 1000 // pJ/ns = mW
 	if coreActivity < 0 {
 		coreActivity = 0
 	}

@@ -150,7 +150,9 @@ func TestTilePower(t *testing.T) {
 		t.Errorf("negative-activity tile power = %g", got)
 	}
 	// Router energy contributes: 1000 pJ over 500 ns = 2 mW = 0.002 W.
-	m.windowDynPJ[0] = 1000
+	// Charge it as static energy (a direct float deposit; dynamic energy
+	// is count-based and cannot be set to an arbitrary value).
+	m.windowStaticPJ[0] = 1000
 	got := m.TilePowerW(0, 1000, 0.5, 0)
 	if math.Abs(got-(p.CoreIdleW+0.002)) > 1e-9 {
 		t.Errorf("tile power with router energy = %g, want %g", got, p.CoreIdleW+0.002)

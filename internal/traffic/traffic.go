@@ -16,9 +16,9 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"math/rand"
 	"sort"
 
+	"rlnoc/internal/detrand"
 	"rlnoc/internal/topology"
 )
 
@@ -57,7 +57,7 @@ const hotspotFraction = 0.3
 // destination computes the destination for src under the pattern; for
 // stochastic patterns it consumes the RNG. Returns ok=false if the pattern
 // maps src to itself (the caller skips the injection).
-func destination(m topology.Topology, p Pattern, src int, rng *rand.Rand) (int, bool) {
+func destination(m topology.Topology, p Pattern, src int, rng detrand.Source) (int, bool) {
 	n := m.Nodes()
 	w, h := m.Dims()
 	switch p {
@@ -155,14 +155,18 @@ func Synthetic(m topology.Topology, p Pattern, rate float64, flits int, cycles i
 	if cycles < 0 {
 		return nil, fmt.Errorf("traffic: negative duration %d", cycles)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	// Each (cycle, src) pair draws from its own counter-based stream, so
+	// a node's injection decision is a pure function of (seed, node,
+	// cycle) — independent of every other node's draws, and stable under
+	// any future reordering or parallelization of trace generation.
 	var events []Event
 	for cycle := int64(0); cycle < cycles; cycle++ {
 		for src := 0; src < m.Nodes(); src++ {
+			rng := detrand.New(seed, detrand.DomainTraffic, uint64(src), uint64(cycle))
 			if rng.Float64() >= rate {
 				continue
 			}
-			dst, ok := destination(m, p, src, rng)
+			dst, ok := destination(m, p, src, &rng)
 			if !ok {
 				continue
 			}
@@ -231,19 +235,22 @@ func (b Benchmark) Trace(m topology.Topology, cycles int64, dataFlits int, seed 
 	if cycles < 0 {
 		return nil, fmt.Errorf("traffic: negative duration %d", cycles)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	n := m.Nodes()
 	bursting := make([]bool, n)
-	// Start some nodes mid-burst so traces don't begin silent.
+	// Start some nodes mid-burst so traces don't begin silent. The
+	// initial states draw from a dedicated init domain keyed per node.
 	duty := b.BurstOnProb / (b.BurstOnProb + b.BurstOffProb)
 	for i := range bursting {
-		bursting[i] = rng.Float64() < duty
+		init := detrand.New(seed, detrand.DomainTrafficInit, uint64(i), 0)
+		bursting[i] = init.Float64() < duty
 	}
 	hot := hotNodes(m)
 	rate := b.RatePktPerKCycle / 1000
 	var events []Event
 	for cycle := int64(0); cycle < cycles; cycle++ {
 		for src := 0; src < n; src++ {
+			// One keyed stream per (cycle, src), as in Synthetic.
+			rng := detrand.New(seed, detrand.DomainTraffic, uint64(src), uint64(cycle))
 			if bursting[src] {
 				if rng.Float64() < b.BurstOffProb {
 					bursting[src] = false
@@ -257,7 +264,7 @@ func (b Benchmark) Trace(m topology.Topology, cycles int64, dataFlits int, seed 
 			if rng.Float64() >= rate {
 				continue
 			}
-			dst := b.pickDst(m, src, hot, rng)
+			dst := b.pickDst(m, src, hot, &rng)
 			if dst == src {
 				continue
 			}
@@ -283,7 +290,7 @@ func hotNodes(m topology.Topology) []int {
 	}
 }
 
-func (b Benchmark) pickDst(m topology.Topology, src int, hot []int, rng *rand.Rand) int {
+func (b Benchmark) pickDst(m topology.Topology, src int, hot []int, rng detrand.Source) int {
 	r := rng.Float64()
 	switch {
 	case r < b.HotspotProb:

@@ -1,26 +1,28 @@
 package rlnoc
 
-// Bit-identity pin for the fabric-abstraction refactor. The golden
-// strings below were captured by running the default 8x8 mesh (shortened
-// phases, fixed seed) against the pre-refactor tree, where routing was
-// per-flit X-Y arithmetic on a concrete *topology.Mesh and link indices
-// were inline id*4+dir math. The topology-as-interface refactor
-// (table-driven routes, edge-list wiring, canonical LinkIndex, wire-scaled
-// link energy) must reproduce these bytes exactly: the route table holds
-// the same Directions the arithmetic produced, the edge list wires the
-// same downstream ports, the fault model draws the same per-link RNG
-// stream over the same nodes*4 slot space, and mesh wire scale 1.0
-// multiplies LinkPJ exactly in IEEE 754. Any drift here means the "mesh
-// is unchanged" guarantee of DESIGN.md section 10 is broken.
+// Bit-identity pin for the default 8x8 mesh: any behavior-preserving
+// refactor of the hot path must reproduce these bytes exactly. The
+// golden strings were first captured across the fabric-abstraction
+// refactor (table-driven routes, edge-list wiring, canonical LinkIndex,
+// wire-scaled link energy; DESIGN.md section 10) and re-captured — in a
+// dedicated, clearly-labeled commit step — when the shared *rand.Rand
+// was replaced by counter-based per-(link,cycle) / per-(node,cycle)
+// detrand streams for the sharded parallel Step (DESIGN.md section 11).
+// That migration changes which bits each individual draw yields (so the
+// pins had to move once) but not the distributions, which
+// internal/fault/detrand_property_test.go pins separately. From here on
+// the run is independent of StepWorkers by construction, so these bytes
+// hold for sequential, dense-scan and parallel stepping alike
+// (parallel_equivalence_test.go enforces that equality directly).
 
 import "testing"
 
 // meshGolden maps scheme -> serialized Result for the pinned run.
 var meshGolden = map[Scheme]string{
-	CRC: `{"Scheme":"crc","Benchmark":"canneal","ExecutionCycles":3022,"Drained":true,"MeanLatency":23.756482525366405,"RetransmittedPacketEq":19,"DynamicPJ":69947.43999999782,"StaticPJ":123762.59686788093,"TotalPJ":193710.03686787875,"DynamicPowerW":0.06918638971315313,"EnergyEfficiency":14397.80842074929,"FlitsDelivered":2789,"MeanTempC":56.49199472694736,"MaxTempC":57.483392339599675,"ModeDecisions":[0,0,0,0],"ModeMeanReward":[0,0,0,0],"Summary":{"PacketsInjected":877,"PacketsDelivered":887,"FlitsDelivered":2789,"MeanLatency":23.756482525366405,"P50Latency":32,"P95Latency":64,"P99Latency":128,"MaxLatency":161,"SourceRetransmissions":19,"LinkRetransmissions":0,"PreRetransmissions":0,"ErrorsInjected":19,"ECCCorrections":0,"ECCDetections":0,"CRCFailures":19,"SilentCorruption":0}}`,
-	ARQ: `{"Scheme":"arq-ecc","Benchmark":"canneal","ExecutionCycles":3031,"Drained":true,"MeanLatency":28.298206278026907,"RetransmittedPacketEq":5,"DynamicPJ":86280.20000000119,"StaticPJ":154560.19766520412,"TotalPJ":240840.3976652053,"DynamicPowerW":0.08496326932545661,"EnergyEfficiency":11663.32570130041,"FlitsDelivered":2809,"MeanTempC":56.502235185298844,"MaxTempC":57.52593759092518,"ModeDecisions":[0,0,0,0],"ModeMeanReward":[0,0,0,0],"Summary":{"PacketsInjected":877,"PacketsDelivered":892,"FlitsDelivered":2809,"MeanLatency":28.298206278026907,"P50Latency":32,"P95Latency":64,"P99Latency":64,"MaxLatency":71,"SourceRetransmissions":0,"LinkRetransmissions":20,"PreRetransmissions":0,"ErrorsInjected":16,"ECCCorrections":9,"ECCDetections":7,"CRCFailures":0,"SilentCorruption":0}}`,
-	DT:  `{"Scheme":"dt","Benchmark":"canneal","ExecutionCycles":3022,"Drained":true,"MeanLatency":23.701240135287485,"RetransmittedPacketEq":17,"DynamicPJ":76689.89999999604,"StaticPJ":139174.81696276864,"TotalPJ":215864.71696276468,"DynamicPowerW":0.07585548961423941,"EnergyEfficiency":12920.129047680754,"FlitsDelivered":2789,"MeanTempC":56.50027380946165,"MaxTempC":57.525376796136364,"ModeDecisions":[256,0,0,0],"ModeMeanReward":[0,0,0,0],"Summary":{"PacketsInjected":877,"PacketsDelivered":887,"FlitsDelivered":2789,"MeanLatency":23.701240135287485,"P50Latency":32,"P95Latency":64,"P99Latency":128,"MaxLatency":124,"SourceRetransmissions":17,"LinkRetransmissions":0,"PreRetransmissions":0,"ErrorsInjected":18,"ECCCorrections":0,"ECCDetections":0,"CRCFailures":17,"SilentCorruption":0}}`,
-	RL:  `{"Scheme":"rl","Benchmark":"canneal","ExecutionCycles":3069,"Drained":true,"MeanLatency":24.4859392575928,"RetransmittedPacketEq":14,"DynamicPJ":77059.95999999465,"StaticPJ":140782.12646594096,"TotalPJ":217842.08646593563,"DynamicPowerW":0.0744900531657754,"EnergyEfficiency":12839.575884421087,"FlitsDelivered":2797,"MeanTempC":56.501099056784824,"MaxTempC":57.52525511564617,"ModeDecisions":[170,19,1,2],"ModeMeanReward":[0.9726242418609465,0.6871080010477374,0.5508101689470262,0.6438892765944003],"Summary":{"PacketsInjected":877,"PacketsDelivered":889,"FlitsDelivered":2797,"MeanLatency":24.4859392575928,"P50Latency":32,"P95Latency":64,"P99Latency":64,"MaxLatency":142,"SourceRetransmissions":13,"LinkRetransmissions":4,"PreRetransmissions":3,"ErrorsInjected":17,"ECCCorrections":2,"ECCDetections":2,"CRCFailures":12,"SilentCorruption":0}}`,
+	CRC: `{"Scheme":"crc","Benchmark":"canneal","ExecutionCycles":3044,"Drained":true,"MeanLatency":23.750915750915752,"RetransmittedPacketEq":15,"DynamicPJ":64803.77999999994,"StaticPJ":123676.95190916865,"TotalPJ":188480.7319091686,"DynamicPowerW":0.06340878669275923,"EnergyEfficiency":13895.319555858534,"FlitsDelivered":2619,"MeanTempC":56.42619042671454,"MaxTempC":57.54689837304411,"ModeDecisions":[0,0,0,0],"ModeMeanReward":[0,0,0,0],"Summary":{"PacketsInjected":809,"PacketsDelivered":819,"FlitsDelivered":2619,"MeanLatency":23.750915750915752,"P50Latency":32,"P95Latency":64,"P99Latency":128,"MaxLatency":136,"SourceRetransmissions":15,"LinkRetransmissions":0,"PreRetransmissions":0,"ErrorsInjected":12,"ECCCorrections":0,"ECCDetections":0,"CRCFailures":14,"SilentCorruption":0}}`,
+	ARQ: `{"Scheme":"arq-ecc","Benchmark":"canneal","ExecutionCycles":3057,"Drained":true,"MeanLatency":28.215422276621787,"RetransmittedPacketEq":1.75,"DynamicPJ":80092.28000000004,"StaticPJ":137341.5172115956,"TotalPJ":217433.79721159564,"DynamicPowerW":0.07787290228488093,"EnergyEfficiency":12008.252780772193,"FlitsDelivered":2611,"MeanTempC":56.42360885557742,"MaxTempC":57.60779353916082,"ModeDecisions":[0,0,0,0],"ModeMeanReward":[0,0,0,0],"Summary":{"PacketsInjected":809,"PacketsDelivered":817,"FlitsDelivered":2611,"MeanLatency":28.215422276621787,"P50Latency":32,"P95Latency":64,"P99Latency":64,"MaxLatency":74,"SourceRetransmissions":0,"LinkRetransmissions":7,"PreRetransmissions":0,"ErrorsInjected":15,"ECCCorrections":11,"ECCDetections":4,"CRCFailures":0,"SilentCorruption":0}}`,
+	DT:  `{"Scheme":"dt","Benchmark":"canneal","ExecutionCycles":3044,"Drained":true,"MeanLatency":24.02322738386308,"RetransmittedPacketEq":22,"DynamicPJ":71898.31000000006,"StaticPJ":123673.81394429196,"TotalPJ":195572.12394429202,"DynamicPowerW":0.07035059686888459,"EnergyEfficiency":13371.026234520381,"FlitsDelivered":2615,"MeanTempC":56.42292132160905,"MaxTempC":57.57526881825839,"ModeDecisions":[192,0,0,0],"ModeMeanReward":[0,0,0,0],"Summary":{"PacketsInjected":809,"PacketsDelivered":818,"FlitsDelivered":2615,"MeanLatency":24.02322738386308,"P50Latency":32,"P95Latency":64,"P99Latency":128,"MaxLatency":162,"SourceRetransmissions":22,"LinkRetransmissions":0,"PreRetransmissions":0,"ErrorsInjected":21,"ECCCorrections":0,"ECCDetections":0,"CRCFailures":21,"SilentCorruption":0}}`,
+	RL:  `{"Scheme":"rl","Benchmark":"canneal","ExecutionCycles":3054,"Drained":true,"MeanLatency":25.492682926829268,"RetransmittedPacketEq":12,"DynamicPJ":74633.98000000008,"StaticPJ":125379.99849134679,"TotalPJ":200013.97849134688,"DynamicPowerW":0.07267184031158723,"EnergyEfficiency":13114.083424491644,"FlitsDelivered":2623,"MeanTempC":56.425572222507284,"MaxTempC":57.54782291601153,"ModeDecisions":[125,1,1,1],"ModeMeanReward":[1.0009838075596582,0.7509441380564578,0.5637604517752575,0.7473527916066889],"Summary":{"PacketsInjected":809,"PacketsDelivered":820,"FlitsDelivered":2623,"MeanLatency":25.492682926829268,"P50Latency":32,"P95Latency":64,"P99Latency":128,"MaxLatency":99,"SourceRetransmissions":12,"LinkRetransmissions":0,"PreRetransmissions":1453,"ErrorsInjected":12,"ECCCorrections":0,"ECCDetections":0,"CRCFailures":11,"SilentCorruption":0}}`,
 }
 
 // meshGoldenConfig reproduces the exact run the goldens were captured

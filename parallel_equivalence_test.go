@@ -1,0 +1,115 @@
+package rlnoc
+
+// Equivalence pin for the sharded parallel cycle loop. Network.Step with
+// StepWorkers > 1 fans each phase's compute across contiguous router-ID
+// shards and commits cross-shard effects in ascending (router, port)
+// order; with workers = 1 it runs the fully-ordered sequential walk.
+// The two must be bit-identical at a fixed seed for *every* worker
+// count: randomness comes from counter-based streams keyed on (seed,
+// link/node, cycle) rather than a shared draw order, and the commit
+// replays order-sensitive effects in exactly the sequential order.
+// DESIGN.md section 11 states the invariants; this test enforces them
+// end to end (pretrain, measured phase, drain) across schemes, both
+// topologies and worker counts 1/2/4/7 — including 7, which does not
+// divide the node count, so shard boundaries fall mid-word in the
+// activity bitsets.
+
+import (
+	"testing"
+
+	"rlnoc/internal/core"
+	"rlnoc/internal/traffic"
+)
+
+// runWithWorkers executes pretrain + a measured synthetic phase with the
+// given step-worker count and returns the full Result.
+func runWithWorkers(t *testing.T, scheme core.Scheme, topo string, workers int) Result {
+	t.Helper()
+	cfg := fastConfig()
+	cfg.Seed = 4242
+	cfg.Topology = topo
+	cfg.StepWorkers = workers
+	sim, err := core.NewSim(cfg, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Pretrain(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := traffic.Synthetic(sim.Network().Topology(), traffic.Uniform, 0.02,
+		cfg.FlitsPerPacket, int64(cfg.MaxCycles), cfg.Seed+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Measure(events, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelStepMatchesSequential runs the same fixed-seed workload at
+// worker counts 1 (the sequential referee), 2, 4 and 7 and requires
+// byte-identical serialized stats. ARQ exercises the heaviest ARQ/ECC
+// wire traffic on the mesh, RL adds the control plane; the torus case
+// covers wraparound links, dateline VC classes and non-unit wire scales.
+func TestParallelStepMatchesSequential(t *testing.T) {
+	cases := []struct {
+		scheme core.Scheme
+		topo   string
+	}{
+		{core.SchemeARQ, "mesh"},
+		{core.SchemeRL, "mesh"},
+		{core.SchemeRL, "torus"},
+	}
+	for _, tc := range cases {
+		ref := serialize(t, runWithWorkers(t, tc.scheme, tc.topo, 1))
+		for _, workers := range []int{2, 4, 7} {
+			got := serialize(t, runWithWorkers(t, tc.scheme, tc.topo, workers))
+			if got != ref {
+				t.Errorf("%s/%s: %d-worker stepping diverged from sequential:\n  seq: %s\n  par: %s",
+					tc.scheme, tc.topo, workers, ref, got)
+			}
+		}
+	}
+}
+
+// TestSetSequentialForcesReferencePath pins the SetSequential escape
+// hatch: a network configured for parallel stepping but forced
+// sequential must match a workers=1 network exactly (it is the same
+// code path), and re-enabling parallel stepping mid-run at a cycle
+// boundary must not diverge either.
+func TestSetSequentialForcesReferencePath(t *testing.T) {
+	run := func(workers int, forceSeq bool) string {
+		cfg := fastConfig()
+		cfg.Seed = 777
+		cfg.StepWorkers = workers
+		sim, err := core.NewSim(cfg, core.SchemeARQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		sim.Network().SetSequential(forceSeq)
+		if err := sim.Pretrain(); err != nil {
+			t.Fatal(err)
+		}
+		events, err := traffic.Synthetic(sim.Network().Topology(), traffic.Uniform, 0.02,
+			cfg.FlitsPerPacket, int64(cfg.MaxCycles), cfg.Seed+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Measure(events, "uniform")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serialize(t, res)
+	}
+	ref := run(1, false)
+	if got := run(4, true); got != ref {
+		t.Errorf("SetSequential(true) with 4 workers diverged from workers=1:\n ref: %s\n got: %s", ref, got)
+	}
+	if got := run(4, false); got != ref {
+		t.Errorf("4-worker run diverged from workers=1 (sanity):\n ref: %s\n got: %s", ref, got)
+	}
+}

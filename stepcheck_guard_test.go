@@ -1,0 +1,52 @@
+package rlnoc
+
+// Guard for Network.Step's error contract: Step returns the watchdog /
+// thermal-model errors, and a call site that drops them turns a livelock
+// or a diverging thermal grid into a silent infinite loop. Every
+// non-test call of `.Step()` (the no-argument form — only Network.Step
+// matches; rl.Agent.Step and thermal.Grid.Step take arguments) must
+// either capture the error into `err` or propagate it with `return`.
+// This greps the whole module the same way the link-index guard does,
+// so a new call site cannot quietly regress the contract.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestStepCallSitesCheckError(t *testing.T) {
+	call := regexp.MustCompile(`\.Step\(\)`)
+	handled := regexp.MustCompile(`err\s*:?=|^\s*return\b`)
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if strings.HasPrefix(name, ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if call.MatchString(line) && !handled.MatchString(line) {
+				t.Errorf("%s:%d: Step() error dropped: %q", path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
