@@ -26,8 +26,17 @@ const benchCycleRate = 0.01
 // bookkeeping overhead of the active sets when there is little to skip.
 const benchLoadedRate = 0.05
 
-func benchmarkCycleLoop(b *testing.B, scheme core.Scheme) {
+// benchCycleConfig pins the invariant checks off: the benchmarks are
+// compared against BENCH_baseline.json, so an RLNOC_CHECKS environment
+// must not be able to perturb them.
+func benchCycleConfig() Config {
 	cfg := DefaultConfig()
+	cfg.Checks = "off"
+	return cfg
+}
+
+func benchmarkCycleLoop(b *testing.B, scheme core.Scheme) {
+	cfg := benchCycleConfig()
 	sim, err := core.NewSim(cfg, scheme)
 	if err != nil {
 		b.Fatal(err)
@@ -38,7 +47,7 @@ func benchmarkCycleLoop(b *testing.B, scheme core.Scheme) {
 // benchmarkCycleLoopStatic steps a fixed-mode mesh (no controller) at the
 // given injection rate.
 func benchmarkCycleLoopStatic(b *testing.B, mode network.Mode, rate float64) {
-	cfg := DefaultConfig()
+	cfg := benchCycleConfig()
 	sim, err := core.NewStaticSim(cfg, mode)
 	if err != nil {
 		b.Fatal(err)
@@ -120,7 +129,7 @@ func BenchmarkCycleLoopMode2Loaded(b *testing.B) {
 // it reflects the host's spare cores, not just the code (on a single-core
 // host the parallel path can only show its coordination overhead).
 func benchmarkCycleLoopParallel(b *testing.B, workers int) {
-	cfg := DefaultConfig()
+	cfg := benchCycleConfig()
 	cfg.Width, cfg.Height = 16, 16
 	cfg.StepWorkers = workers
 	sim, err := core.NewStaticSim(cfg, network.Mode2)

@@ -140,6 +140,9 @@ func prepareBench(cfg rlnoc.Config, sc benchScenario, cycles int64) (*benchRun, 
 	if sc.stepWorkers > 0 {
 		cfg.StepWorkers = sc.stepWorkers
 	}
+	// The baseline JSON is compared across machines and sessions; pin the
+	// invariant checks off so an RLNOC_CHECKS environment cannot skew it.
+	cfg.Checks = "off"
 	var (
 		sim *core.Sim
 		err error

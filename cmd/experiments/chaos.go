@@ -1,0 +1,103 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"rlnoc"
+	"rlnoc/internal/fault"
+	"rlnoc/internal/invariant"
+	"rlnoc/internal/topology"
+)
+
+// chaosTraceCycles bounds the injected trace of one chaos run; kill
+// cycles are drawn from the warm-up plus this window so every scheduled
+// fault fires while traffic is in flight.
+const chaosTraceCycles = 4000
+
+// runChaos sweeps randomized hard-fault kill schedules across the
+// topology x scheme grid with every invariant check armed, asserting
+// graceful degradation: each run must drain, hit its cycle budget, or
+// terminate through the invariant watchdog with a conservation ledger
+// that still balances. Anything else — a wedge, an unbalanced account,
+// an unexpected error — fails the campaign. Schedules are derived from
+// (seed, run) through detrand, so a failing run replays exactly with
+// -seed and the printed schedule.
+func runChaos(base rlnoc.Config, runs int) error {
+	topos := []string{"mesh", "torus"}
+	schemes := []rlnoc.Scheme{rlnoc.ARQ, rlnoc.RL}
+	counts := map[string]int{}
+	wedged := 0
+	for i := 0; i < runs; i++ {
+		cfg := base
+		cfg.Topology = topos[i%len(topos)]
+		cfg.Checks = "all"
+		scheme := schemes[(i/len(topos))%len(schemes)]
+		kills := 1 + i%4
+
+		topo, err := topology.FromConfig(cfg)
+		if err != nil {
+			return err
+		}
+		maxKill := int64(cfg.WarmupCycles) + chaosTraceCycles
+		sched := fault.RandomSchedule(cfg.Seed, uint64(i), topo, kills, maxKill)
+		cfg.HardFaults = fault.FormatSchedule(sched)
+
+		outcome, detail, err := chaosRun(cfg, scheme, int64(i))
+		if err != nil {
+			return err
+		}
+		counts[outcome]++
+		if outcome == "wedged" {
+			wedged++
+		}
+		fmt.Printf("chaos run %2d  %-5s %-7s kills=%d [%s]  %-8s  %s\n",
+			i, cfg.Topology, scheme, kills, cfg.HardFaults, outcome, detail)
+	}
+	fmt.Printf("chaos: %d runs — drained %d, budget %d, watchdog %d, wedged %d\n",
+		runs, counts["drained"], counts["budget"], counts["watchdog"], wedged)
+	if wedged > 0 {
+		return fmt.Errorf("chaos: %d of %d runs wedged", wedged, runs)
+	}
+	return nil
+}
+
+// chaosRun executes one kill schedule and classifies its terminal state.
+// Pre-training is skipped — chaos probes robustness, not policy quality —
+// so the network cycle counter starts at zero and the schedule's absolute
+// cycles land inside the measured window by construction.
+func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64) (outcome, detail string, err error) {
+	events, err := rlnoc.SyntheticTrace(cfg, "uniform", 0.01, chaosTraceCycles, cfg.Seed+run*1000)
+	if err != nil {
+		return "", "", err
+	}
+	sess, err := rlnoc.NewSession(cfg, scheme)
+	if err != nil {
+		return "", "", err
+	}
+	net := sess.Network()
+	defer net.Close()
+
+	res, merr := sess.Measure(events, fmt.Sprintf("chaos-%d", run))
+	led := net.ConservationLedger()
+	detail = fmt.Sprintf("dead=%d unreachable=%d drops=%d %s",
+		net.DeadRouters(), net.UnreachablePairs(), net.Stats().TotalDrops(), led)
+	var iv *invariant.Error
+	switch {
+	case merr == nil && res.Drained && led.Balanced():
+		return "drained", detail, nil
+	case merr == nil && led.Balanced():
+		return "budget", detail, nil
+	case errors.As(merr, &iv) && led.Balanced():
+		fmt.Fprint(os.Stderr, iv.Report())
+		return "watchdog", detail, nil
+	case merr != nil && !errors.As(merr, &iv):
+		return "", "", merr
+	default:
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, merr)
+		}
+		return "wedged", detail, nil
+	}
+}

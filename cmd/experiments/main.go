@@ -29,29 +29,30 @@ func main() {
 
 func run() error {
 	var (
-		figFlag    = flag.String("fig", "", "regenerate one figure: 6|7|8|9|10")
-		all        = flag.Bool("all", false, "regenerate every figure")
-		table2     = flag.Bool("table2", false, "print the Table II parameters")
-		overhead   = flag.Bool("overhead", false, "print the Section VI-B overhead analysis")
-		ablation   = flag.String("ablation", "", "run an ablation: rl-params|modes|epoch|table-sharing|static-modes")
-		benchFlag  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all nine)")
-		cfgPath    = flag.String("config", "", "JSON config file")
-		small      = flag.Bool("small", false, "use the 4x4 quick configuration (fast, noisier)")
-		seed       = flag.Int64("seed", 0, "override random seed")
-		topoFlag   = flag.String("topology", "", "fabric topology: mesh|torus (default: config)")
-		chart      = flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
-		seeds      = flag.Int("seeds", 1, "number of seeds to average figures over (mean +/- std)")
-		analytic   = flag.Bool("analytic", false, "print the closed-form mode cost model and crossover thresholds")
-		loadsweep  = flag.Bool("loadsweep", false, "run the load-latency sweep (latency vs injection rate per scheme)")
-		benchBase  = flag.Bool("bench-baseline", false, "measure the cycle loop per scheme and write the baseline JSON")
-		benchComp  = flag.Bool("bench-compare", false, "re-measure the cycle loop and compare against the baseline JSON")
-		benchOut   = flag.String("bench-out", "BENCH_baseline.json", "baseline file path for -bench-baseline / -bench-compare")
-		benchCyc   = flag.Int64("bench-cycles", 20_000, "measured cycles per scheme for the cycle-loop baseline")
-		benchGate  = flag.String("bench-gate", "allocs", "which -bench-compare regressions fail the run: allocs|speed|all")
-		workers    = flag.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS)")
-		stepW      = flag.Int("step-workers", 0, "per-Step shard workers, deterministic (0 = config/env, 1 = sequential)")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the measured bench loops to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile after the measured bench loops to this file")
+		figFlag   = flag.String("fig", "", "regenerate one figure: 6|7|8|9|10")
+		all       = flag.Bool("all", false, "regenerate every figure")
+		table2    = flag.Bool("table2", false, "print the Table II parameters")
+		overhead  = flag.Bool("overhead", false, "print the Section VI-B overhead analysis")
+		ablation  = flag.String("ablation", "", "run an ablation: rl-params|modes|epoch|table-sharing|static-modes")
+		benchFlag = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all nine)")
+		cfgPath   = flag.String("config", "", "JSON config file")
+		small     = flag.Bool("small", false, "use the 4x4 quick configuration (fast, noisier)")
+		seed      = flag.Int64("seed", 0, "override random seed")
+		topoFlag  = flag.String("topology", "", "fabric topology: mesh|torus (default: config)")
+		chart     = flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
+		seeds     = flag.Int("seeds", 1, "number of seeds to average figures over (mean +/- std)")
+		analytic  = flag.Bool("analytic", false, "print the closed-form mode cost model and crossover thresholds")
+		loadsweep = flag.Bool("loadsweep", false, "run the load-latency sweep (latency vs injection rate per scheme)")
+		chaos     = flag.Int("chaos", 0, "run N randomized hard-fault chaos campaigns (mesh+torus x arq+rl, checks=all)")
+		benchBase = flag.Bool("bench-baseline", false, "measure the cycle loop per scheme and write the baseline JSON")
+		benchComp = flag.Bool("bench-compare", false, "re-measure the cycle loop and compare against the baseline JSON")
+		benchOut  = flag.String("bench-out", "BENCH_baseline.json", "baseline file path for -bench-baseline / -bench-compare")
+		benchCyc  = flag.Int64("bench-cycles", 20_000, "measured cycles per scheme for the cycle-loop baseline")
+		benchGate = flag.String("bench-gate", "allocs", "which -bench-compare regressions fail the run: allocs|speed|all")
+		workers   = flag.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS)")
+		stepW     = flag.Int("step-workers", 0, "per-Step shard workers, deterministic (0 = config/env, 1 = sequential)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the measured bench loops to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the measured bench loops to this file")
 	)
 	flag.Parse()
 
@@ -104,6 +105,12 @@ func run() error {
 	}
 	if *loadsweep {
 		if err := runLoadSweep(cfg); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *chaos > 0 {
+		if err := runChaos(cfg, *chaos); err != nil {
 			return err
 		}
 		did = true

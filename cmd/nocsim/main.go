@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,9 @@ import (
 	"rlnoc/internal/config"
 	"rlnoc/internal/core"
 	"rlnoc/internal/eventlog"
+	"rlnoc/internal/invariant"
+	"rlnoc/internal/network"
+	"rlnoc/internal/stats"
 	"rlnoc/internal/topology"
 	"rlnoc/internal/traffic"
 )
@@ -39,6 +43,8 @@ func run() error {
 		seed       = flag.Int64("seed", 0, "override random seed (0 = keep config seed)")
 		errRate    = flag.Float64("error-rate", -1, "override base timing-error rate (-1 = keep config)")
 		routing    = flag.String("routing", "", "routing algorithm: xy|yx|westfirst (default: config)")
+		hardFault  = flag.String("hard-faults", "", "permanent-failure schedule, e.g. 5000:l12.east,8000:r3")
+		checksFlag = flag.String("checks", "", "runtime invariant checks: off|all|ledger,credits,watchdog (default: RLNOC_CHECKS env)")
 		topoFlag   = flag.String("topology", "", "fabric topology: mesh|torus (default: config)")
 		small      = flag.Bool("small", false, "use the 4x4 quick configuration")
 		stepW      = flag.Int("step-workers", 0, "per-Step shard workers, deterministic (0 = config/env, 1 = sequential)")
@@ -95,6 +101,17 @@ func run() error {
 	}
 	if *stepW != 0 {
 		cfg.StepWorkers = *stepW
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	if *hardFault != "" {
+		cfg.HardFaults = *hardFault
+	}
+	if *checksFlag != "" {
+		cfg.Checks = *checksFlag
+	}
+	if *hardFault != "" || *checksFlag != "" {
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
@@ -182,10 +199,17 @@ func run() error {
 	}
 	res, err := sim.Measure(events, label)
 	if err != nil {
+		var iv *invariant.Error
+		if errors.As(err, &iv) {
+			fmt.Fprint(os.Stderr, iv.Report())
+		}
 		return err
 	}
 
 	printResult(res, *verbose)
+	if cfg.HardFaults != "" {
+		printFaultReport(sim.Network())
+	}
 	if *policy > 0 {
 		if rlc, ok := sim.Controller().(*core.RLController); ok {
 			fmt.Print(rlc.PolicyDump(*policy))
@@ -210,6 +234,21 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "saved RL policy to %s\n", *savePolicy)
 	}
 	return nil
+}
+
+// printFaultReport summarizes the damage after a hard-faulted run: what
+// died, what became unreachable, where discarded flits went, and the
+// packet-conservation ledger that proves nothing was lost untallied.
+func printFaultReport(net *network.Network) {
+	fmt.Printf("dead routers      %d\n", net.DeadRouters())
+	fmt.Printf("unreachable pairs %d\n", net.UnreachablePairs())
+	counts := net.Stats().DropCounts()
+	fmt.Printf("drops            ")
+	for r := stats.DropReason(0); r < stats.NumDropReasons; r++ {
+		fmt.Printf(" %s=%d", r, counts[r])
+	}
+	fmt.Println()
+	fmt.Printf("ledger            %s\n", net.ConservationLedger())
 }
 
 func printResult(r core.Result, verbose bool) {

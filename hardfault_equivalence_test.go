@@ -1,0 +1,83 @@
+package rlnoc
+
+// Determinism pin for hard-fault campaigns. A mid-run kill schedule
+// tears through every layer the parallel step shards — link ARQ state,
+// VC buffers, NI replay buffers, the route tables themselves — and all
+// of it happens on the main goroutine at the top of Step, so the
+// sharded walk must remain bit-identical to the sequential referee
+// through the kill, the re-route and the condemned-packet resolution.
+// Checks stay armed the whole way: the same runs must also keep the
+// conservation ledger closed at every census.
+
+import (
+	"fmt"
+	"testing"
+
+	"rlnoc/internal/core"
+	"rlnoc/internal/traffic"
+)
+
+// runHardFaultWithWorkers runs a measured synthetic phase through a
+// mid-run kill schedule at the given worker count, returning the
+// serialized Result plus the fault aftermath (dead routers, unreachable
+// pairs, conservation ledger) so divergence in the fault path itself is
+// caught even where the pinned Summary would not show it.
+func runHardFaultWithWorkers(t *testing.T, scheme core.Scheme, topo, sched string, workers int) string {
+	t.Helper()
+	cfg := fastConfig()
+	cfg.Seed = 4242
+	cfg.Topology = topo
+	cfg.StepWorkers = workers
+	cfg.PretrainCycles = 0 // cycle zero = schedule zero: kills land mid-measure
+	cfg.HardFaults = sched
+	cfg.Checks = "all"
+	sim, err := core.NewSim(cfg, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	events, err := traffic.Synthetic(sim.Network().Topology(), traffic.Uniform, 0.02,
+		cfg.FlitsPerPacket, int64(cfg.MaxCycles), cfg.Seed+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Measure(events, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := sim.Network()
+	led := net.ConservationLedger()
+	if !led.Balanced() {
+		t.Fatalf("%s/%s workers=%d: ledger does not balance: %s", scheme, topo, workers, led)
+	}
+	return fmt.Sprintf("%s dead=%d unreachable=%d drops=%d %s",
+		serialize(t, res), net.DeadRouters(), net.UnreachablePairs(), net.Stats().TotalDrops(), led)
+}
+
+// TestParallelStepMatchesSequentialHardFaults runs the same fixed-seed
+// workload through a mid-run kill schedule at worker counts 1 (the
+// sequential referee), 2 and 4, requiring byte-identical results and
+// fault aftermath. The schedules mix link and router kills; the torus
+// case exercises re-routing around a wrap edge under dateline VC
+// classes.
+func TestParallelStepMatchesSequentialHardFaults(t *testing.T) {
+	cases := []struct {
+		scheme core.Scheme
+		topo   string
+		sched  string
+	}{
+		{core.SchemeARQ, "mesh", "1500:l5.east,3000:r10"},
+		{core.SchemeRL, "mesh", "1500:l5.east,3000:r10"},
+		{core.SchemeRL, "torus", "1200:l3.east,2600:r6"},
+	}
+	for _, tc := range cases {
+		ref := runHardFaultWithWorkers(t, tc.scheme, tc.topo, tc.sched, 1)
+		for _, workers := range []int{2, 4} {
+			got := runHardFaultWithWorkers(t, tc.scheme, tc.topo, tc.sched, workers)
+			if got != ref {
+				t.Errorf("%s/%s [%s]: %d-worker stepping diverged from sequential:\n  seq: %s\n  par: %s",
+					tc.scheme, tc.topo, tc.sched, workers, ref, got)
+			}
+		}
+	}
+}

@@ -42,10 +42,10 @@ type Config struct {
 	Routing Routing `json:"routing"`
 
 	// Router microarchitecture.
-	VCsPerPort   int `json:"vcs_per_port"`   // virtual channels per input port
-	VCDepth      int `json:"vc_depth"`       // flit slots per VC buffer
+	VCsPerPort    int `json:"vcs_per_port"`   // virtual channels per input port
+	VCDepth       int `json:"vc_depth"`       // flit slots per VC buffer
 	PipelineDepth int `json:"pipeline_depth"` // router pipeline stages (RC,VA,SA,ST)
-	OutputBuffer int `json:"output_buffer"`  // per-port output (retransmission) buffer slots
+	OutputBuffer  int `json:"output_buffer"`  // per-port output (retransmission) buffer slots
 
 	// Packet format.
 	FlitBits       int `json:"flit_bits"`        // payload bits per flit
@@ -92,6 +92,21 @@ type Config struct {
 	// (pure open-loop replay).
 	SourceWindow int `json:"source_window"`
 
+	// HardFaults is a deterministic hard-fault schedule: a comma-separated
+	// list of kill events, each "CYCLE:rID" (router ID dies at CYCLE) or
+	// "CYCLE:lID.DIR" (the link leaving router ID toward DIR — north,
+	// south, east or west — dies, both directions). Example:
+	// "5000:l12.east,8000:r3". Empty means no hard faults. Parsed and
+	// validated by internal/fault.
+	HardFaults string `json:"hard_faults,omitempty"`
+
+	// Checks enables the runtime invariant layer (internal/invariant):
+	// "" or "off" disables it (zero overhead, bit-identical runs), "all"
+	// enables every check, or a comma-separated subset of
+	// "ledger,credits,watchdog". The RLNOC_CHECKS environment variable
+	// supplies a default when the field is empty.
+	Checks string `json:"checks,omitempty"`
+
 	// Random seed for every stochastic component (fault injection,
 	// exploration, traffic synthesis). Runs are deterministic per seed.
 	Seed int64 `json:"seed"`
@@ -133,12 +148,12 @@ type FaultConfig struct {
 
 // ThermalConfig parameterizes the HotSpot-like RC thermal grid.
 type ThermalConfig struct {
-	AmbientC       float64 `json:"ambient_c"`        // ambient temperature
-	RThetaJA       float64 `json:"r_theta_ja"`       // vertical thermal resistance to ambient (K/W)
-	RThetaLateral  float64 `json:"r_theta_lateral"`  // lateral resistance between adjacent tiles (K/W)
-	CThermal       float64 `json:"c_thermal"`        // tile thermal capacitance (J/K)
-	UpdatePeriod   int     `json:"update_period"`    // cycles between thermal solves
-	InitialC       float64 `json:"initial_c"`        // initial tile temperature
+	AmbientC      float64 `json:"ambient_c"`       // ambient temperature
+	RThetaJA      float64 `json:"r_theta_ja"`      // vertical thermal resistance to ambient (K/W)
+	RThetaLateral float64 `json:"r_theta_lateral"` // lateral resistance between adjacent tiles (K/W)
+	CThermal      float64 `json:"c_thermal"`       // tile thermal capacitance (J/K)
+	UpdatePeriod  int     `json:"update_period"`   // cycles between thermal solves
+	InitialC      float64 `json:"initial_c"`       // initial tile temperature
 }
 
 // RLConfig parameterizes the tabular Q-learning controller.
@@ -212,8 +227,8 @@ func Default() Config {
 			InitialC:     55.0,
 		},
 		RL: RLConfig{
-			Alpha:   0.1,
-			Gamma:   0.5,
+			Alpha: 0.1,
+			Gamma: 0.5,
 			// The paper quotes epsilon = 0.1 without distinguishing
 			// phases; we explore harder during pre-training and anneal
 			// for the measured phase (TestEpsilon).
@@ -294,6 +309,9 @@ func (c *Config) Validate() error {
 	case c.StepWorkers < 0:
 		return fmt.Errorf("config: step workers must be non-negative, got %d", c.StepWorkers)
 	}
+	if err := validateChecks(c.Checks); err != nil {
+		return err
+	}
 	if err := c.Fault.validate(); err != nil {
 		return err
 	}
@@ -351,6 +369,46 @@ func (r *RLConfig) validate() error {
 		return fmt.Errorf("config: RL step must be positive, got %d", r.StepCycles)
 	}
 	return nil
+}
+
+// validateChecks verifies the Checks spec: empty, "off", "all", or a
+// comma list drawn from the known check names. The spec is parsed again
+// by internal/invariant; this only rejects typos early.
+func validateChecks(spec string) error {
+	switch spec {
+	case "", "off", "all":
+		return nil
+	}
+	for _, tok := range splitComma(spec) {
+		switch tok {
+		case "ledger", "credits", "watchdog":
+		default:
+			return fmt.Errorf("config: unknown check %q (want off|all or a list of ledger,credits,watchdog)", tok)
+		}
+	}
+	return nil
+}
+
+// splitComma splits on commas, trimming spaces and dropping empties.
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			tok := s[start:i]
+			for len(tok) > 0 && tok[0] == ' ' {
+				tok = tok[1:]
+			}
+			for len(tok) > 0 && tok[len(tok)-1] == ' ' {
+				tok = tok[:len(tok)-1]
+			}
+			if tok != "" {
+				out = append(out, tok)
+			}
+			start = i + 1
+		}
+	}
+	return out
 }
 
 // Routers returns the number of routers in the fabric.

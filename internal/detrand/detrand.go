@@ -35,6 +35,9 @@ const (
 	// DomainTrafficInit keys per-source one-shot initialization draws
 	// (e.g. the initial burst state of a trace source); cycle is 0.
 	DomainTrafficInit uint64 = 4
+	// DomainHardFault keys the randomized hard-fault (link/router kill)
+	// schedule generator; id is the campaign run index, cycle is 0.
+	DomainHardFault uint64 = 5
 )
 
 // Source is the draw interface shared by detrand streams and

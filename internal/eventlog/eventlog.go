@@ -17,17 +17,19 @@ type Kind uint8
 
 // Event kinds.
 const (
-	KInject  Kind = iota // packet created at a source NI
-	KAccept              // flit accepted into an input buffer
-	KLinkTx              // flit transmitted on a link
-	KNACK                // link-level NACK raised
-	KRetx                // link-level retransmission sent
-	KCRCFail             // packet failed the destination CRC
-	KDeliver             // packet delivered
+	KInject    Kind = iota // packet created at a source NI
+	KAccept                // flit accepted into an input buffer
+	KLinkTx                // flit transmitted on a link
+	KNACK                  // link-level NACK raised
+	KRetx                  // link-level retransmission sent
+	KCRCFail               // packet failed the destination CRC
+	KDeliver               // packet delivered
+	KHardFault             // a link or router hard-failed (Aux: 0 link, 1 router)
+	KDrop                  // flit discarded or packet declared lost (Aux: stats.DropReason)
 	numKinds
 )
 
-var kindNames = [numKinds]string{"inject", "accept", "linktx", "nack", "retx", "crcfail", "deliver"}
+var kindNames = [numKinds]string{"inject", "accept", "linktx", "nack", "retx", "crcfail", "deliver", "hardfault", "drop"}
 
 func (k Kind) String() string {
 	if k >= numKinds {

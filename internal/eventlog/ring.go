@@ -1,0 +1,67 @@
+package eventlog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ring is a fixed-capacity in-memory event recorder. The invariant layer
+// keeps one attached to the network's main-goroutine progress sites so
+// that a watchdog or ledger failure can dump the last moments of the run
+// without the full streaming Log (which forces the sequential Step path
+// and a writer the caller may not have). A nil *Ring is a valid no-op
+// recorder, mirroring Log.
+type Ring struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding the most recent n events.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Record appends one event, overwriting the oldest once full.
+func (r *Ring) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Format renders the ring's contents in the Log text format, newest
+// last, for inclusion in a diagnostic dump.
+func (r *Ring) Format() string {
+	evs := r.Events()
+	if len(evs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "last %d events:\n", len(evs))
+	for _, e := range evs {
+		fmt.Fprintf(&b, "  %d %s %d %d %d\n", e.Cycle, e.Kind, e.Router, e.Packet, e.Aux)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"rlnoc/internal/topology"
+)
+
+func TestParseHardFaults(t *testing.T) {
+	sched, err := ParseHardFaults(" 8000:r3, 5000:l12.east ,6000:l4.n ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []HardFault{
+		{Cycle: 5000, Kind: KillLink, Router: 12, Dir: topology.East},
+		{Cycle: 6000, Kind: KillLink, Router: 4, Dir: topology.North},
+		{Cycle: 8000, Kind: KillRouter, Router: 3},
+	}
+	if !reflect.DeepEqual(sched, want) {
+		t.Fatalf("parse: got %v, want %v", sched, want)
+	}
+	if got := FormatSchedule(sched); got != "5000:l12.east,6000:l4.north,8000:r3" {
+		t.Fatalf("round trip: %q", got)
+	}
+}
+
+func TestParseHardFaultsRejects(t *testing.T) {
+	for _, spec := range []string{
+		"nocolon", "0:r3", "-5:r3", "100:", "100:x3", "100:l3", "100:l3.up", "100:rX",
+	} {
+		if _, err := ParseHardFaults(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if sched, err := ParseHardFaults("  "); err != nil || sched != nil {
+		t.Errorf("blank spec: got (%v, %v), want (nil, nil)", sched, err)
+	}
+}
+
+func TestValidateSchedule(t *testing.T) {
+	mesh, err := topology.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := ParseHardFaults("100:l5.east,200:r15")
+	if err := ValidateSchedule(ok, mesh); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	outside, _ := ParseHardFaults("100:r16")
+	if err := ValidateSchedule(outside, mesh); err == nil {
+		t.Error("router outside fabric accepted")
+	}
+	// Router 3 is the bottom-right mesh corner: no east neighbor.
+	unwired, _ := ParseHardFaults("100:l3.east")
+	if err := ValidateSchedule(unwired, mesh); err == nil {
+		t.Error("unwired mesh edge link accepted")
+	}
+	torus, err := topology.NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(unwired, torus); err != nil {
+		t.Errorf("torus wrap link rejected: %v", err)
+	}
+}
+
+// TestRandomScheduleDeterminism pins the chaos-campaign contract: a
+// schedule is a pure function of (seed, run), valid for its fabric, and
+// different runs draw different kills.
+func TestRandomScheduleDeterminism(t *testing.T) {
+	mesh, err := topology.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandomSchedule(42, 7, mesh, 5, 10_000)
+	b := RandomSchedule(42, 7, mesh, 5, 10_000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same key, different schedules:\n%v\n%v", a, b)
+	}
+	if err := ValidateSchedule(a, mesh); err != nil {
+		t.Errorf("random schedule invalid for its own fabric: %v", err)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Cycle < a[i-1].Cycle {
+			t.Fatalf("schedule not sorted: %v", a)
+		}
+	}
+	c := RandomSchedule(42, 8, mesh, 5, 10_000)
+	if reflect.DeepEqual(a, c) {
+		t.Error("distinct runs produced identical schedules")
+	}
+}

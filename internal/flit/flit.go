@@ -140,6 +140,14 @@ type Flit struct {
 	Seq    int // index within the packet
 	Type   Type
 
+	// Attempt is the packet's Retransmissions count when this flit was
+	// materialized. After a hard fault condemns an attempt (its flits were
+	// casualties of a killed link or router), straggler copies of that
+	// attempt still in flight are identified — and poisoned — by carrying
+	// an Attempt no newer than the condemned one, while the source's fresh
+	// retransmission carries a higher Attempt and passes untouched.
+	Attempt int32
+
 	// Payload is the live 128-bit payload (possibly corrupted in flight).
 	Payload [WordsPerFlit]uint64
 

@@ -10,6 +10,7 @@ func benchNet(b *testing.B, mode Mode, hasECC bool) *Network {
 	b.Helper()
 	cfg := testConfig(0.001)
 	cfg.Width, cfg.Height = 8, 8
+	cfg.Checks = "off" // keep allocation/cycle numbers immune to RLNOC_CHECKS
 	n, err := New(cfg, StaticController{Fixed: mode}, ControllerNone, hasECC)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,202 @@
+package network
+
+// Runtime invariant checks (DESIGN.md §12). The check *policy* — which
+// checks run, thresholds, violation/report types — lives in
+// internal/invariant; this file owns the probes, because only the
+// network can walk its own buffers. Everything here is observational:
+// no simulation state is mutated, so a checked run either completes
+// identically to an unchecked one or fails fast with a report.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rlnoc/internal/flit"
+	"rlnoc/internal/invariant"
+	"rlnoc/internal/stats"
+	"rlnoc/internal/topology"
+)
+
+// Checks returns the active invariant configuration.
+func (n *Network) Checks() invariant.Config { return n.checks }
+
+// ConservationLedger assembles the packet-conservation account: every
+// data packet ever injected must be delivered, declared undeliverable,
+// or still in flight — and the running in-flight counter must agree
+// with a structural census of the source replay buffers.
+func (n *Network) ConservationLedger() invariant.Ledger {
+	var census int64
+	for _, ni := range n.nis {
+		census += int64(len(ni.replay))
+	}
+	return invariant.Ledger{
+		Injected:  n.totalInjected,
+		Delivered: n.totalDelivered,
+		Declared:  n.totalDeclared,
+		InFlight:  int64(n.dataInFlight),
+		Census:    census,
+	}
+}
+
+// runChecks executes the enabled invariant probes for this cycle. The
+// progress watchdog is O(1) and runs every cycle; the ledger, credit and
+// packet-bound walks are O(network) and amortized over CheckPeriod.
+func (n *Network) runChecks(cycle int64) error {
+	var viols []invariant.Violation
+	if n.checks.Watchdog && !n.Drained() && cycle-n.lastProgress > n.thresh.ProgressWindow {
+		viols = append(viols, invariant.Violation{Cycle: cycle, Check: "watchdog",
+			Msg: fmt.Sprintf("no forward progress for %d cycles (%d data, %d ctrl in flight)",
+				cycle-n.lastProgress, n.dataInFlight, n.ctrlInFlight)})
+	}
+	if cycle%n.thresh.CheckPeriod == 0 {
+		if n.checks.Ledger {
+			if l := n.ConservationLedger(); !l.Balanced() {
+				viols = append(viols, invariant.Violation{Cycle: cycle, Check: "ledger",
+					Msg: "packet account does not close: " + l.String()})
+			}
+			if n.ctrlInFlight != len(n.ctrlLive) {
+				viols = append(viols, invariant.Violation{Cycle: cycle, Check: "ledger",
+					Msg: fmt.Sprintf("control census mismatch: counter %d, live set %d",
+						n.ctrlInFlight, len(n.ctrlLive))})
+			}
+		}
+		if n.checks.Credits {
+			viols = n.checkCredits(cycle, viols)
+		}
+		if n.checks.Watchdog {
+			viols = n.checkPacketBounds(cycle, viols)
+		}
+	}
+	if len(viols) == 0 {
+		return nil
+	}
+	return &invariant.Error{Violations: viols, Dump: n.diagnosticDump(cycle)}
+}
+
+// checkCredits verifies per-VC credit balance on every live channel:
+// credits held upstream, flits buffered downstream and credits on the
+// return wire never exceed the VC depth, and account for exactly the
+// depth whenever the channel's forward traffic has drained.
+func (n *Network) checkCredits(cycle int64, viols []invariant.Violation) []invariant.Violation {
+	for id, r := range n.routers {
+		if n.isDeadRouter(id) {
+			continue
+		}
+		for dir := topology.North; dir < topology.NumPorts; dir++ {
+			p := r.outputs[dir]
+			if !p.hasDownstream() { // unwired or dead
+				continue
+			}
+			dr := n.routers[p.downstream]
+			quiet := len(p.inflight) == 0 && len(p.unacked) == 0 && p.resendIdx < 0
+			for vc := range p.credits {
+				sum := p.credits[vc] + len(dr.inputs[p.inPort][vc].buf)
+				for _, c := range p.credRet {
+					if c.vc == vc {
+						sum++
+					}
+				}
+				switch {
+				case p.credits[vc] < 0 || sum > n.cfg.VCDepth:
+					viols = append(viols, invariant.Violation{Cycle: cycle, Check: "credits",
+						Msg: fmt.Sprintf("router %d port %v vc %d: credits %d + occupancy + returns = %d exceeds depth %d",
+							id, dir, vc, p.credits[vc], sum, n.cfg.VCDepth)})
+				case quiet && sum != n.cfg.VCDepth:
+					viols = append(viols, invariant.Violation{Cycle: cycle, Check: "credits",
+						Msg: fmt.Sprintf("router %d port %v vc %d: quiet channel accounts for %d of %d credits (leak)",
+							id, dir, vc, sum, n.cfg.VCDepth)})
+				}
+			}
+		}
+	}
+	return viols
+}
+
+// checkPacketBounds enforces per-packet age and hop limits over the live
+// replay buffers — the livelock side of the watchdog: a packet older
+// than MaxPacketAge is circulating or starved, and a path longer than
+// MaxHops proves a routing loop.
+func (n *Network) checkPacketBounds(cycle int64, viols []invariant.Violation) []invariant.Violation {
+	ids := make([]uint64, 0, 16)
+	for id, ni := range n.nis {
+		if n.isDeadRouter(id) {
+			continue
+		}
+		ids = ids[:0]
+		for pid := range ni.replay {
+			ids = append(ids, pid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, pid := range ids {
+			pkt := ni.replay[pid]
+			base := pkt.FirstInjectedAt
+			if base < 0 {
+				base = pkt.CreatedAt
+			}
+			if age := cycle - base; age > n.thresh.MaxPacketAge {
+				viols = append(viols, invariant.Violation{Cycle: cycle, Check: "watchdog",
+					Msg: fmt.Sprintf("packet %d (%d->%d) outstanding for %d cycles, bound %d (attempt %d)",
+						pkt.ID, pkt.Src, pkt.Dst, age, n.thresh.MaxPacketAge, pkt.Retransmissions)})
+			}
+			if len(pkt.Path) > n.thresh.MaxHops {
+				viols = append(viols, invariant.Violation{Cycle: cycle, Check: "watchdog",
+					Msg: fmt.Sprintf("packet %d (%d->%d) visited %d routers, bound %d: routing loop",
+						pkt.ID, pkt.Src, pkt.Dst, len(pkt.Path), n.thresh.MaxHops)})
+			}
+		}
+	}
+	return viols
+}
+
+// diagnosticDump snapshots the network for an invariant failure report:
+// the conservation ledger, drop and fault tallies, the oldest stuck
+// packets and the recent event ring.
+func (n *Network) diagnosticDump(cycle int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d: %s\n", cycle, n.ConservationLedger())
+	fmt.Fprintf(&b, "dead routers %d, unreachable pairs %d, ctrl in flight %d\n",
+		n.DeadRouters(), n.unreachablePairs, n.ctrlInFlight)
+	b.WriteString("drops:")
+	counts := n.stats.DropCounts()
+	for r := stats.DropReason(0); r < stats.NumDropReasons; r++ {
+		fmt.Fprintf(&b, " %s=%d", r, counts[r])
+	}
+	b.WriteString("\n")
+	type stuck struct {
+		pkt *flit.Packet
+		age int64
+	}
+	var oldest []stuck
+	for id, ni := range n.nis {
+		if n.isDeadRouter(id) {
+			continue
+		}
+		for _, pkt := range ni.replay {
+			base := pkt.FirstInjectedAt
+			if base < 0 {
+				base = pkt.CreatedAt
+			}
+			oldest = append(oldest, stuck{pkt: pkt, age: cycle - base})
+		}
+	}
+	sort.Slice(oldest, func(i, j int) bool {
+		if oldest[i].age != oldest[j].age {
+			return oldest[i].age > oldest[j].age
+		}
+		return oldest[i].pkt.ID < oldest[j].pkt.ID
+	})
+	if len(oldest) > 10 {
+		oldest = oldest[:10]
+	}
+	if len(oldest) > 0 {
+		b.WriteString("oldest outstanding packets:\n")
+		for _, s := range oldest {
+			p := s.pkt
+			fmt.Fprintf(&b, "  pkt %d %d->%d age %d attempt %d hops %d\n",
+				p.ID, p.Src, p.Dst, s.age, p.Retransmissions, len(p.Path))
+		}
+	}
+	b.WriteString(n.ering.Format())
+	return b.String()
+}

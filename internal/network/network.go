@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 	"math/bits"
+	"os"
 
 	"rlnoc/internal/coding"
 	"rlnoc/internal/config"
@@ -10,6 +11,7 @@ import (
 	"rlnoc/internal/eventlog"
 	"rlnoc/internal/fault"
 	"rlnoc/internal/flit"
+	"rlnoc/internal/invariant"
 	"rlnoc/internal/power"
 	"rlnoc/internal/rl"
 	"rlnoc/internal/stats"
@@ -104,6 +106,36 @@ type Network struct {
 
 	// elog records flit/packet events when non-nil (nocsim -eventlog).
 	elog *eventlog.Log
+
+	// Hard-fault machinery (DESIGN.md §12). hardSched is the sorted kill
+	// schedule, hardIdx the next due entry. deadRouter (nil until a
+	// router dies) marks removed routers; condemned (nil until the first
+	// kill, so the fault-free accept path pays one nil check) maps packet
+	// ID to the newest condemned attempt for the poison screen in
+	// applyWireOp. ctrlLive tracks control packets between send and NI
+	// receive so a kill can cancel each exactly once.
+	hardSched        []fault.HardFault
+	hardIdx          int
+	hardFaulted      bool
+	deadRouter       []bool
+	condemned        map[uint64]int32
+	ctrlLive         map[uint64]*flit.Packet
+	unreachablePairs int
+
+	// Always-on packet account feeding the conservation ledger. Unlike
+	// the stats counters these are not gated on measurement: the ledger
+	// must close over the whole run, warm-up included.
+	totalInjected  int64
+	totalDelivered int64
+	totalDeclared  int64
+
+	// Invariant layer (Config.Checks / RLNOC_CHECKS). ering is the
+	// fixed-size diagnostic event ring attached when checks are on; it
+	// records only at main-goroutine sites, so unlike elog it does not
+	// force the sequential Step path.
+	checks invariant.Config
+	thresh invariant.Thresholds
+	ering  *eventlog.Ring
 
 	epochEnergyPJ []float64 // per-router energy snapshot at epoch start
 	epochLatSum   float64
@@ -214,6 +246,36 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		p.vcBusy = make([]bool, cfg.VCsPerPort)
 		p.vcPendingFree = make([]bool, cfg.VCsPerPort)
 	}
+	net.ctrlLive = make(map[uint64]*flit.Packet)
+	if cfg.HardFaults != "" {
+		if adaptive {
+			return nil, fmt.Errorf("network: hard faults require deterministic (table) routing; west-first is coordinate math blind to dead links")
+		}
+		if _, ok := topo.(topology.FaultAware); !ok {
+			return nil, fmt.Errorf("network: topology %T cannot reroute around hard faults", topo)
+		}
+		sched, err := fault.ParseHardFaults(cfg.HardFaults)
+		if err != nil {
+			return nil, err
+		}
+		if err := fault.ValidateSchedule(sched, topo); err != nil {
+			return nil, err
+		}
+		net.hardSched = sched
+	}
+	checkSpec := cfg.Checks
+	if checkSpec == "" {
+		checkSpec = os.Getenv("RLNOC_CHECKS")
+	}
+	checks, err := invariant.Parse(checkSpec)
+	if err != nil {
+		return nil, err
+	}
+	if checks.Enabled() {
+		net.checks = checks
+		net.thresh = invariant.DefaultThresholds(n)
+		net.ering = eventlog.NewRing(128)
+	}
 	net.workers = resolveStepWorkers(cfg.StepWorkers, n)
 	if net.workers > 1 {
 		net.buildShards()
@@ -231,15 +293,32 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 }
 
 // markWire records that router id has (or may soon have) wire-phase work:
-// in-flight flits, pending ACKs or credit returns.
-func (n *Network) markWire(id int) { n.wireActive.add(id) }
+// in-flight flits, pending ACKs or credit returns. Dead routers stay out
+// of every active set forever (the deadRouter nil check keeps the
+// fault-free path branch-free in practice: nil until a router dies).
+func (n *Network) markWire(id int) {
+	if n.deadRouter != nil && n.deadRouter[id] {
+		return
+	}
+	n.wireActive.add(id)
+}
 
 // markPipe records that router id has (or may soon have) pipeline work:
 // an occupied input VC, a pending retransmission or a mode switch.
-func (n *Network) markPipe(id int) { n.pipeActive.add(id) }
+func (n *Network) markPipe(id int) {
+	if n.deadRouter != nil && n.deadRouter[id] {
+		return
+	}
+	n.pipeActive.add(id)
+}
 
 // markNI records that NI id has injection work queued.
-func (n *Network) markNI(id int) { n.niActive.add(id) }
+func (n *Network) markNI(id int) {
+	if n.deadRouter != nil && n.deadRouter[id] {
+		return
+	}
+	n.niActive.add(id)
+}
 
 // SetDenseScan toggles the original dense O(routers x ports x VCs) phase
 // scans. The dense path is kept as the referee for the active-set
@@ -315,11 +394,27 @@ func (n *Network) NewDataPacket(src, dst, flits int, createdAt int64) (*flit.Pac
 	if flits < 1 {
 		return nil, fmt.Errorf("network: packet needs at least 1 flit")
 	}
+	if n.hardFaulted {
+		// Degraded fabric: refuse traffic that can never deliver instead
+		// of letting it wedge a queue. A nil, nil return tells the caller
+		// the packet was declined, not that the simulation failed.
+		switch {
+		case n.isDeadRouter(src) || n.isDeadRouter(dst):
+			n.stats.Drop(stats.DropDeadRouter)
+			n.recordDrop(src, 0, stats.DropDeadRouter)
+			return nil, nil
+		case !topology.Reachable(n.topo, src, dst):
+			n.stats.Drop(stats.DropUnreachable)
+			n.recordDrop(src, 0, stats.DropUnreachable)
+			return nil, nil
+		}
+	}
 	p := n.buildPacket(flit.Data, src, dst, flits, createdAt, 0)
 	ni := n.nis[src]
 	ni.replay[p.ID] = p
 	ni.EnqueueData(p)
 	n.dataInFlight++
+	n.totalInjected++
 	n.coreFlits[src] += float64(flits)
 	n.stats.Measuref(func(c *statsCollector) { c.PacketsInjected++ })
 	n.elog.Record(eventlog.Event{Cycle: createdAt, Kind: eventlog.KInject, Router: src, Packet: p.ID})
@@ -356,6 +451,7 @@ func (n *Network) sendE2ENack(from int, pkt *flit.Packet, cycle int64) {
 	ctrl := n.buildPacket(flit.NackE2E, from, pkt.Src, 1, cycle, pkt.ID)
 	n.nis[from].enqueueCtrl(ctrl)
 	n.ctrlInFlight++
+	n.ctrlLive[ctrl.ID] = ctrl
 	n.stats.Measuref(func(c *statsCollector) { c.ControlInjected++ })
 }
 
@@ -382,6 +478,7 @@ func (n *Network) deliverData(pkt *flit.Packet, cycle int64) {
 	n.coreFlits[pkt.Dst] += float64(pkt.NumFlits())
 	delete(n.nis[pkt.Src].replay, pkt.ID)
 	n.dataInFlight--
+	n.totalDelivered++
 	n.lastDelivery = cycle
 	n.lastProgress = cycle
 	n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KDeliver, Router: pkt.Dst,
@@ -489,6 +586,13 @@ func (n *Network) Step() error {
 	n.cycle++
 	cycle := n.cycle
 
+	// 0. Hard faults due this cycle fire before any phase, on the main
+	// goroutine, so all three stepping paths see identical post-fault
+	// state (the schedule and its effects are worker-count independent).
+	if n.hardIdx < len(n.hardSched) && n.hardSched[n.hardIdx].Cycle <= cycle {
+		n.applyHardFaults()
+	}
+
 	if n.dense {
 		// Referee path: the original dense scans, every router and NI
 		// every cycle.
@@ -572,6 +676,13 @@ func (n *Network) Step() error {
 		n.controlEpoch()
 	}
 
+	// 5b. Invariant checks (observation-only; disabled costs one bool).
+	if n.checks.Enabled() {
+		if err := n.runChecks(cycle); err != nil {
+			return err
+		}
+	}
+
 	// 6. Watchdog.
 	if !n.Drained() && cycle-n.lastProgress > watchdogCycles {
 		return fmt.Errorf("network: deadlock suspected at cycle %d (%d data, %d ctrl in flight)",
@@ -634,10 +745,12 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit, sh *shar
 	// Sequence screening (the downstream decoder's go-back-N window).
 	if wf.seq != p.expectSeq {
 		// Duplicates (already accepted) and younger flits racing a
-		// retransmission are dropped silently; go-back-N resends the
-		// younger ones in order. Every wire flit is singly-referenced
-		// (transmit and retransmit put clones on the wire), so a dropped
-		// one retires to the pool.
+		// retransmission are discarded; go-back-N resends the younger
+		// ones in order. Every wire flit is singly-referenced (transmit
+		// and retransmit put clones on the wire), so a dropped one
+		// retires to the pool. The discard is still accounted: every
+		// flit leaving the simulation passes a counted drop seam.
+		n.countDrop(stats.DropStaleSeq, sh)
 		up.pool.Put(wf.f)
 		return
 	}
@@ -748,10 +861,33 @@ func (n *Network) applyWireOp(op wireOp) {
 	}
 	switch {
 	case op.flags&opEject != 0:
+		if n.poisoned(op.f) {
+			// Straggler of a hard-fault-condemned attempt arriving at the
+			// NI: its packet was already declared or re-queued; the copy
+			// is discarded (finite cleanup work, so it counts as progress).
+			n.dropFlit(op.f, n.routers[down], stats.DropKilledLink)
+			n.lastProgress = cycle
+			return
+		}
 		n.nis[down].receive(op.f, cycle)
 		n.lastProgress = cycle
 	case op.flags&opAccept != 0:
 		dr := n.routers[down]
+		if n.poisoned(op.f) {
+			// The upstream ARQ accept already ran (sequence advanced, ACK
+			// queued) — only the buffer entry is suppressed, so go-back-N
+			// never stalls on a silently-missing flit. The buffer slot the
+			// flit would have taken goes back upstream as a normal credit.
+			if up, ok := n.topo.Neighbor(down, op.inPort); ok {
+				if upPort := n.routers[up].outputs[op.inPort.Opposite()]; !upPort.dead {
+					upPort.credRet = append(upPort.credRet, wireCredit{vc: op.f.VC, deliver: cycle + 1})
+					n.markWire(up)
+				}
+			}
+			n.dropFlit(op.f, dr, stats.DropKilledLink)
+			n.lastProgress = cycle
+			return
+		}
 		vcBuf := dr.inputs[op.inPort][op.f.VC]
 		if vcBuf.full() {
 			panic(fmt.Sprintf("network: credit protocol violated: router %d port %v vc %d overflow",
@@ -856,7 +992,15 @@ func (n *Network) routeCompute(r *Router, vc *inputVC, front *bufFlit) {
 	} else {
 		vc.outPort = n.topo.Route(r.id, pkt.Dst)
 	}
+	if vc.outPort == topology.Unreachable {
+		// No surviving path (hard faults). The sweep condemns and purges
+		// such residents; leaving the VC unrouted here is a backstop so a
+		// head can never be granted toward a sentinel port.
+		vc.outPort = topology.Local
+		return
+	}
 	vc.routed = true
+	vc.pkt = pkt
 	// Record the head's path for latency attribution (exact even
 	// under adaptive routing).
 	if k := len(pkt.Path); k == 0 || pkt.Path[k-1] != r.id {
@@ -1148,8 +1292,7 @@ func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC
 			if sh != nil {
 				sh.credits = append(sh.credits, creditOp{router: int32(up),
 					dir: inPort.Opposite(), vc: int8(f.VC)})
-			} else {
-				upPort := n.routers[up].outputs[inPort.Opposite()]
+			} else if upPort := n.routers[up].outputs[inPort.Opposite()]; !upPort.dead {
 				upPort.credRet = append(upPort.credRet, wireCredit{vc: f.VC, deliver: n.cycle + 1})
 				n.markWire(up)
 			}
@@ -1165,6 +1308,7 @@ func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC
 		}
 		vc.routed = false
 		vc.outVC = -1
+		vc.pkt = nil
 	}
 
 	if op.dir == topology.Local {
@@ -1373,6 +1517,9 @@ func (n *Network) controlEpoch() {
 	netMean := rawSum / float64(len(n.routers))
 
 	for id, r := range n.routers {
+		if n.isDeadRouter(id) {
+			continue // nothing to observe or control on dead hardware
+		}
 		flitsOut := n.stats.WindowFlitsOut(id)
 		errRate := 0.0
 		if flitsOut > 0 {

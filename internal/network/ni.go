@@ -177,6 +177,7 @@ func (ni *NI) makeFlit(p *flit.Packet, seq int) *flit.Flit {
 	f.Packet = p
 	f.Seq = seq
 	f.Type = p.TypeOf(seq)
+	f.Attempt = int32(p.Retransmissions)
 	f.RestorePayload()
 	return f
 }
@@ -230,6 +231,7 @@ func (ni *NI) receive(f *flit.Flit, cycle int64) {
 			ni.net.stats.SilentCorruption++
 		}
 		ni.net.ctrlInFlight--
+		delete(ni.net.ctrlLive, pkt.ID)
 		ni.net.nis[pkt.Dst].handleE2ENack(pkt.RefID, cycle)
 	case ok:
 		ni.net.deliverData(pkt, cycle)

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"rlnoc/internal/flit"
+	"rlnoc/internal/stats"
 	"rlnoc/internal/topology"
 )
 
@@ -104,6 +105,11 @@ type shardState struct {
 
 	d        [numStatEvents]int64 // staged global-counter increments
 	progress bool                 // staged lastProgress = current cycle
+
+	// Staged drop-reason counts. Separate from d because drop counters
+	// are always-on (the conservation ledger spans the whole run) while
+	// d is pre-gated on Measuring().
+	dd [stats.NumDropReasons]int64
 }
 
 func (sh *shardState) setWire(id int) { sh.wireMarks[id>>6] |= 1 << uint(id&63) }
@@ -163,6 +169,18 @@ func (n *Network) countStat(ev statEvent, sh *shardState) {
 	}
 }
 
+// countDrop counts one flit discard: staged on the shard when running a
+// parallel compute pass, directly on the collector otherwise. Drop
+// counters are always-on — no Measuring() gate — because the invariant
+// layer's conservation ledger must close over the whole run.
+func (n *Network) countDrop(r stats.DropReason, sh *shardState) {
+	if sh != nil {
+		sh.dd[r]++
+		return
+	}
+	n.stats.Drop(r)
+}
+
 // applyStatDelta folds a shard's staged counter increments into the
 // collector and clears the delta.
 func (n *Network) applyStatDelta(sh *shardState) {
@@ -175,6 +193,12 @@ func (n *Network) applyStatDelta(sh *shardState) {
 	c.PreRetransmissions += d[evPreRetransmissions]
 	c.LinkRetransmissions += d[evLinkRetransmissions]
 	*d = [numStatEvents]int64{}
+	for r := range sh.dd {
+		if sh.dd[r] != 0 {
+			c.DropAdd(stats.DropReason(r), sh.dd[r])
+			sh.dd[r] = 0
+		}
+	}
 }
 
 // resolveStepWorkers turns the configured worker count into the
@@ -432,6 +456,9 @@ func (n *Network) commitSwitch() {
 		sh := &n.shards[w]
 		for _, c := range sh.credits {
 			upPort := n.routers[c.router].outputs[c.dir]
+			if upPort.dead {
+				continue // hard-failed channel: nobody is listening upstream
+			}
 			upPort.credRet = append(upPort.credRet, wireCredit{vc: int(c.vc), deliver: n.cycle + 1})
 			n.markWire(int(c.router))
 		}

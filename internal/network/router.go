@@ -33,6 +33,12 @@ type inputVC struct {
 	routed  bool
 	outPort topology.Direction
 	outVC   int // -1 until VC allocation succeeds
+
+	// pkt identifies the resident packet even when the buffer is
+	// momentarily empty (flits forwarded, tail still upstream). The
+	// hard-fault sweep needs that identity: a kill can strand a VC in
+	// exactly that state, with nothing left in buf to name the owner.
+	pkt *flit.Packet
 }
 
 func (vc *inputVC) empty() bool { return len(vc.buf) == 0 }
@@ -175,6 +181,14 @@ type outputPort struct {
 	winSentEpoch     int64
 	winNackEpoch     int64
 	winResidualEpoch int64
+
+	// dead marks a hard-failed channel. killPort also clears downstream
+	// (so hasDownstream() excuses the port from every pipeline stage and
+	// observation loop exactly like an unwired mesh edge), but an unwired
+	// port and a killed one differ for the topology: Neighbor still
+	// reports the killed link as wired, so credit-return sites check dead
+	// ports explicitly before appending to their queues.
+	dead bool
 }
 
 func (p *outputPort) hasDownstream() bool { return p.downstream >= 0 }
@@ -222,7 +236,7 @@ type Router struct {
 	vaRR [topology.NumPorts]int
 
 	// Window counters for controller features.
-	winFlitsIn  int64
+	winFlitsIn   int64
 	winErrEvents int64
 
 	// inputUsed marks input ports already granted this cycle's switch

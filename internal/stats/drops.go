@@ -1,0 +1,55 @@
+package stats
+
+// DropReason classifies every point where the network discards a flit or
+// declares a packet undeliverable. Routing each discard through one
+// counted seam is what lets the invariant layer's conservation ledger
+// balance: injected = delivered + dropped-with-cause + in-flight.
+type DropReason uint8
+
+// Drop reasons. StaleSeq is the ARQ receive screen discarding a
+// duplicate or out-of-order wire flit (benign: the go-back-N window
+// resends it); the rest are hard-fault casualties.
+const (
+	DropStaleSeq    DropReason = iota // ARQ duplicate/out-of-order wire flit
+	DropKilledLink                    // flit in flight on a link at the instant it died
+	DropDeadRouter                    // flit or packet buffered in a router/NI that died
+	DropUnreachable                   // packet declared undeliverable: no surviving route
+	NumDropReasons
+)
+
+var dropReasonNames = [NumDropReasons]string{
+	"stale-seq", "killed-link", "dead-router", "unreachable",
+}
+
+// String returns the reason's kebab-case name.
+func (r DropReason) String() string {
+	if r >= NumDropReasons {
+		return "unknown"
+	}
+	return dropReasonNames[r]
+}
+
+// Drop counts one discard of the given reason. Unlike the measurement
+// counters, drop counters are NOT gated on Measuring(): the conservation
+// ledger must balance over the whole run, warm-up included. They live
+// outside Summary so enabling hard faults cannot perturb the golden
+// result bytes of fault-free runs.
+func (c *Collector) Drop(r DropReason) { c.drops[r]++ }
+
+// DropAdd counts n discards of the given reason (always on).
+func (c *Collector) DropAdd(r DropReason, n int64) { c.drops[r] += n }
+
+// Drops returns the count for one reason.
+func (c *Collector) Drops(r DropReason) int64 { return c.drops[r] }
+
+// TotalDrops sums every reason.
+func (c *Collector) TotalDrops() int64 {
+	var sum int64
+	for _, v := range c.drops {
+		sum += v
+	}
+	return sum
+}
+
+// DropCounts returns a copy of the per-reason counters.
+func (c *Collector) DropCounts() [NumDropReasons]int64 { return c.drops }

@@ -39,12 +39,16 @@ type Collector struct {
 	PreRetransmissions    int64 // duplicate flits sent by Mode 2
 
 	// Error-control outcomes.
-	ErrorsInjected  int64 // bit-error events on links
-	ECCCorrections  int64 // single-bit errors corrected by SECDED
-	ECCDetections   int64 // double-bit errors detected (NACKed)
-	CRCFailures     int64 // packets failing the destination CRC check
-	LinkNACKs       int64
+	ErrorsInjected   int64 // bit-error events on links
+	ECCCorrections   int64 // single-bit errors corrected by SECDED
+	ECCDetections    int64 // double-bit errors detected (NACKed)
+	CRCFailures      int64 // packets failing the destination CRC check
+	LinkNACKs        int64
 	SilentCorruption int64 // delivered packets whose payload check failed silently (must stay 0)
+
+	// drops counts flit/packet discards by reason; see drops.go. Always
+	// on (not gated on measuring).
+	drops [NumDropReasons]int64
 
 	// Per-router windows (reset each control epoch).
 	routers     int

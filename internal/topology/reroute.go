@@ -1,0 +1,113 @@
+package topology
+
+// Unreachable is the route-table sentinel for a destination that no
+// surviving path reaches after hard faults sever the fabric. Route
+// returns it instead of looping; consumers must check for it before
+// following the port. It deliberately equals NumPorts so it can never
+// collide with a real port and still fits the table's uint8 cells.
+const Unreachable Direction = NumPorts
+
+// FaultAware is implemented by fabrics whose route tables can be rebuilt
+// around permanently dead links (both concrete fabrics here implement
+// it). Reroute is a whole-table rebuild, called only when a hard fault
+// lands — never per flit — so its cost is irrelevant to the cycle loop.
+type FaultAware interface {
+	Topology
+	// Reroute rebuilds the route table over the surviving edges. dead
+	// reports whether the directed edge leaving router id through port d
+	// is down (callers kill links bidirectionally; Reroute itself treats
+	// each direction independently). It returns the number of ordered
+	// (src, dst) pairs, src != dst, left with no surviving path; their
+	// table cells hold Unreachable.
+	Reroute(dead func(id int, d Direction) bool) int
+}
+
+// Reachable reports whether the fabric's route table has a live path
+// from src to dst (trivially true when src == dst).
+func Reachable(t Topology, src, dst int) bool {
+	return src == dst || t.Route(src, dst) != Unreachable
+}
+
+// rerouteProbeOrder is the direction preference used to break ties among
+// equally short surviving routes: X-dimension ports first, mirroring the
+// XY flavor of the healthy tables.
+var rerouteProbeOrder = [linkPorts]Direction{East, West, North, South}
+
+// rebuildRoutes recomputes a fabric's route table with a BFS per
+// destination over the surviving edges. For each destination it derives
+// exact hop distances (backward BFS along reversed alive edges), then
+// points every source at a neighbor one step closer — preferring the
+// port the previous table used when that port is still optimal, so
+// traffic unaffected by the fault keeps its dimension-ordered (and on
+// the torus, dateline-safe) routes, and falling back to a fixed probe
+// order otherwise. Everything is index-ordered and the dead predicate is
+// pure, so rebuilt tables are identical across runs and worker counts.
+// Returns the number of unreachable ordered pairs.
+func rebuildRoutes(t Topology, routes []uint8, dead func(id int, d Direction) bool) int {
+	n := t.Nodes()
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	unreachable := 0
+	for dst := 0; dst < n; dst++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue = append(queue[:0], dst)
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for d := North; d < NumPorts; d++ {
+				// u sits in direction d from v, so u reaches v through
+				// the opposite port; that directed edge must be alive.
+				u, ok := t.Neighbor(v, d)
+				if !ok || dist[u] >= 0 || dead(u, d.Opposite()) {
+					continue
+				}
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+		for here := 0; here < n; here++ {
+			cell := &routes[here*n+dst]
+			switch {
+			case here == dst:
+				*cell = uint8(Local)
+			case dist[here] < 0:
+				*cell = uint8(Unreachable)
+				unreachable++
+			default:
+				prev := Direction(*cell)
+				best := Unreachable
+				for _, d := range rerouteProbeOrder {
+					next, ok := t.Neighbor(here, d)
+					if !ok || dead(here, d) || dist[next] != dist[here]-1 {
+						continue
+					}
+					if d == prev {
+						best = d
+						break
+					}
+					if best == Unreachable {
+						best = d
+					}
+				}
+				*cell = uint8(best)
+			}
+		}
+	}
+	return unreachable
+}
+
+// Reroute rebuilds the mesh route table around dead links.
+func (m *Mesh) Reroute(dead func(id int, d Direction) bool) int {
+	return rebuildRoutes(m, m.routes, dead)
+}
+
+// Reroute rebuilds the torus route table around dead links. Detour
+// routes stay dateline-safe because WrapVCClass derives the escape class
+// from coordinates per hop, independent of the table: any hop moving
+// away from the destination within its ring (the stretch before a wrap
+// crossing) rides class 1 and drops to class 0 at the dateline.
+func (t *Torus) Reroute(dead func(id int, d Direction) bool) int {
+	return rebuildRoutes(t, t.routes, dead)
+}

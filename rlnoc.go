@@ -122,6 +122,12 @@ func NewSession(cfg Config, scheme Scheme) (*Session, error) {
 // Pretrain runs the synthetic pre-training phase.
 func (s *Session) Pretrain() error { return s.sim.Pretrain() }
 
+// Network exposes the live network under the session. Fault-injection
+// campaigns use it to audit a finished (or failed) run: the packet
+// conservation ledger, dead-router and unreachable-pair counts, and the
+// drained state survive Measure returning.
+func (s *Session) Network() *network.Network { return s.sim.Network() }
+
 // Observe registers fn to run every `every` cycles during measurement.
 func (s *Session) Observe(every int64, fn func(Snapshot)) { s.sim.SetObserver(every, fn) }
 
