@@ -8,6 +8,7 @@ import (
 	"rlnoc"
 	"rlnoc/internal/fault"
 	"rlnoc/internal/invariant"
+	"rlnoc/internal/stats"
 	"rlnoc/internal/topology"
 )
 
@@ -16,24 +17,36 @@ import (
 // fault fires while traffic is in flight.
 const chaosTraceCycles = 4000
 
-// runChaos sweeps randomized hard-fault kill schedules across the
-// topology x scheme grid with every invariant check armed, asserting
-// graceful degradation: each run must drain, hit its cycle budget, or
-// terminate through the invariant watchdog with a conservation ledger
-// that still balances. Anything else — a wedge, an unbalanced account,
-// an unexpected error — fails the campaign. Schedules are derived from
-// (seed, run) through detrand, so a failing run replays exactly with
-// -seed and the printed schedule.
+// runChaos sweeps randomized hard-fault kill schedules across both
+// topologies with every invariant check armed, running each schedule
+// head-to-head: the rl scheme (whose recovery is the table reroute — a
+// BFS over the surviving fabric) against qroute (per-router learned
+// next-hop selection over the same surviving fabric). Each arm reports
+// its terminal state, mean latency, drop reasons and per-kill
+// time-to-recover, so the learned router's fault response is measured
+// against the deterministic baseline on identical kills and traffic.
+//
+// Every run must drain, hit its cycle budget, or terminate through the
+// invariant watchdog with a conservation ledger that still balances.
+// Anything else — a wedge, an unbalanced account, an unexpected error —
+// fails the campaign. Schedules are derived from (seed, run) through
+// detrand, so a failing run replays exactly with -seed and the printed
+// schedule.
 func runChaos(base rlnoc.Config, runs int) error {
 	topos := []string{"mesh", "torus"}
-	schemes := []rlnoc.Scheme{rlnoc.ARQ, rlnoc.RL}
+	arms := []rlnoc.Scheme{rlnoc.RL, rlnoc.QRoute}
 	counts := map[string]int{}
 	wedged := 0
 	for i := 0; i < runs; i++ {
 		cfg := base
 		cfg.Topology = topos[i%len(topos)]
 		cfg.Checks = "all"
-		scheme := schemes[(i/len(topos))%len(schemes)]
+		if cfg.Topology == "torus" && cfg.VCsPerPort < 8 {
+			// qroute quarters the data VCs on a wraparound fabric
+			// (escape/adaptive x dateline); provision both arms alike so
+			// the comparison stays buffer-for-buffer fair.
+			cfg.VCsPerPort = 8
+		}
 		kills := 1 + i%4
 
 		topo, err := topology.FromConfig(cfg)
@@ -44,29 +57,38 @@ func runChaos(base rlnoc.Config, runs int) error {
 		sched := fault.RandomSchedule(cfg.Seed, uint64(i), topo, kills, maxKill)
 		cfg.HardFaults = fault.FormatSchedule(sched)
 
-		outcome, detail, err := chaosRun(cfg, scheme, int64(i))
-		if err != nil {
-			return err
+		fmt.Printf("chaos run %2d  %-5s kills=%d [%s]\n", i, cfg.Topology, kills, cfg.HardFaults)
+		for _, scheme := range arms {
+			outcome, detail, err := chaosRun(cfg, scheme, int64(i))
+			if err != nil {
+				return err
+			}
+			counts[string(scheme)+"/"+outcome]++
+			if outcome == "wedged" {
+				wedged++
+			}
+			fmt.Printf("    %-7s %-8s %s\n", scheme, outcome, detail)
 		}
-		counts[outcome]++
-		if outcome == "wedged" {
-			wedged++
-		}
-		fmt.Printf("chaos run %2d  %-5s %-7s kills=%d [%s]  %-8s  %s\n",
-			i, cfg.Topology, scheme, kills, cfg.HardFaults, outcome, detail)
 	}
-	fmt.Printf("chaos: %d runs — drained %d, budget %d, watchdog %d, wedged %d\n",
-		runs, counts["drained"], counts["budget"], counts["watchdog"], wedged)
+	fmt.Printf("chaos: %d runs x %d arms —", runs, len(arms))
+	for _, scheme := range arms {
+		fmt.Printf("  %s: drained %d, budget %d, watchdog %d, wedged %d;",
+			scheme, counts[string(scheme)+"/drained"], counts[string(scheme)+"/budget"],
+			counts[string(scheme)+"/watchdog"], counts[string(scheme)+"/wedged"])
+	}
+	fmt.Println()
 	if wedged > 0 {
-		return fmt.Errorf("chaos: %d of %d runs wedged", wedged, runs)
+		return fmt.Errorf("chaos: %d runs wedged", wedged)
 	}
 	return nil
 }
 
-// chaosRun executes one kill schedule and classifies its terminal state.
-// Pre-training is skipped — chaos probes robustness, not policy quality —
-// so the network cycle counter starts at zero and the schedule's absolute
-// cycles land inside the measured window by construction.
+// chaosRun executes one kill schedule under one scheme and classifies
+// its terminal state, reporting latency, drop reasons and the per-kill
+// recovery times. Pre-training is skipped — chaos probes robustness, not
+// policy quality — so the network cycle counter starts at zero and the
+// schedule's absolute cycles land inside the measured window by
+// construction.
 func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64) (outcome, detail string, err error) {
 	events, err := rlnoc.SyntheticTrace(cfg, "uniform", 0.01, chaosTraceCycles, cfg.Seed+run*1000)
 	if err != nil {
@@ -81,8 +103,12 @@ func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64) (outcome, detail
 
 	res, merr := sess.Measure(events, fmt.Sprintf("chaos-%d", run))
 	led := net.ConservationLedger()
-	detail = fmt.Sprintf("dead=%d unreachable=%d drops=%d %s",
-		net.DeadRouters(), net.UnreachablePairs(), net.Stats().TotalDrops(), led)
+	detail = fmt.Sprintf("dead=%d unreachable=%d lat=%.1f drops[%s] recover[%s] %s",
+		net.DeadRouters(), net.UnreachablePairs(), res.MeanLatency,
+		formatDrops(net.Stats().DropCounts()), net.RecoveryLog().Format(), led)
+	if net.QRouteEnabled() {
+		detail += " " + net.QRouteTelemetry().Format()
+	}
 	var iv *invariant.Error
 	switch {
 	case merr == nil && res.Drained && led.Balanced():
@@ -100,4 +126,22 @@ func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64) (outcome, detail
 		}
 		return "wedged", detail, nil
 	}
+}
+
+// formatDrops renders the non-zero drop-reason tallies compactly.
+func formatDrops(counts [stats.NumDropReasons]int64) string {
+	s := ""
+	for r := stats.DropReason(0); r < stats.NumDropReasons; r++ {
+		if counts[r] == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", r, counts[r])
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
 }

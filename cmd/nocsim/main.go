@@ -34,7 +34,7 @@ func main() {
 
 func run() error {
 	var (
-		schemeFlag = flag.String("scheme", "rl", "fault-tolerant scheme: crc|arq-ecc|dt|rl")
+		schemeFlag = flag.String("scheme", "rl", "fault-tolerant scheme: crc|arq-ecc|dt|rl|qroute")
 		benchFlag  = flag.String("benchmark", "", "PARSEC-like benchmark name (see cmd/trafficgen -list)")
 		traceFlag  = flag.String("trace", "", "trace file to run (overrides -benchmark)")
 		pattern    = flag.String("pattern", "", "synthetic pattern (uniform|transpose|...) instead of a benchmark")
@@ -54,6 +54,8 @@ func run() error {
 		loadPolicy = flag.String("load-policy", "", "preload RL Q-tables (skips pre-training)")
 		eventLog   = flag.String("eventlog", "", "record flit/packet events of the testing phase to a file")
 		analyze    = flag.String("analyze", "", "analyze a recorded event log and exit")
+		qAlpha     = flag.Float64("qroute-alpha", 0, "override the qroute learning rate (0 = keep config)")
+		qEpsilon   = flag.Float64("qroute-epsilon", -1, "override the qroute exploration epsilon (-1 = keep config)")
 	)
 	flag.Parse()
 
@@ -110,6 +112,12 @@ func run() error {
 	}
 	if *checksFlag != "" {
 		cfg.Checks = *checksFlag
+	}
+	if *qAlpha != 0 {
+		cfg.QRoute.Alpha = *qAlpha
+	}
+	if *qEpsilon >= 0 {
+		cfg.QRoute.Epsilon = *qEpsilon
 	}
 	if *hardFault != "" || *checksFlag != "" {
 		if err := cfg.Validate(); err != nil {
@@ -207,6 +215,9 @@ func run() error {
 	}
 
 	printResult(res, *verbose)
+	if net := sim.Network(); net.QRouteEnabled() {
+		fmt.Printf("qroute telemetry  %s\n", net.QRouteTelemetry().Format())
+	}
 	if cfg.HardFaults != "" {
 		printFaultReport(sim.Network())
 	}
@@ -249,6 +260,7 @@ func printFaultReport(net *network.Network) {
 	}
 	fmt.Println()
 	fmt.Printf("ledger            %s\n", net.ConservationLedger())
+	fmt.Printf("time-to-recover   %s\n", net.RecoveryLog().Format())
 }
 
 func printResult(r core.Result, verbose bool) {

@@ -31,6 +31,9 @@ func runHardFaultWithWorkers(t *testing.T, scheme core.Scheme, topo, sched strin
 	cfg.PretrainCycles = 0 // cycle zero = schedule zero: kills land mid-measure
 	cfg.HardFaults = sched
 	cfg.Checks = "all"
+	if scheme == core.SchemeQRoute && topo == "torus" {
+		cfg.VCsPerPort = 8 // escape/adaptive x dateline VC quartering
+	}
 	sim, err := core.NewSim(cfg, scheme)
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +72,12 @@ func TestParallelStepMatchesSequentialHardFaults(t *testing.T) {
 		{core.SchemeARQ, "mesh", "1500:l5.east,3000:r10"},
 		{core.SchemeRL, "mesh", "1500:l5.east,3000:r10"},
 		{core.SchemeRL, "torus", "1200:l3.east,2600:r6"},
+		// qroute through mid-run kills: the surviving-distance table and
+		// permitted masks rebuild on the main goroutine at the top of
+		// Step, and learned routing must stay bit-identical through the
+		// kill, reroute and condemned-packet resolution.
+		{core.SchemeQRoute, "mesh", "1500:l5.east,3000:r10"},
+		{core.SchemeQRoute, "torus", "1200:l3.east,2600:r6"},
 	}
 	for _, tc := range cases {
 		ref := runHardFaultWithWorkers(t, tc.scheme, tc.topo, tc.sched, 1)

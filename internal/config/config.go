@@ -64,6 +64,10 @@ type Config struct {
 	// RL controller.
 	RL RLConfig `json:"rl"`
 
+	// QRoute parameterizes the Q-routing scheme's learned next-hop
+	// selection. Ignored (and must stay disabled) for every other scheme.
+	QRoute QRouteConfig `json:"qroute"`
+
 	// Simulation phases, in cycles.
 	PretrainCycles int `json:"pretrain_cycles"` // RL/DT pre-training on synthetic traffic
 	WarmupCycles   int `json:"warmup_cycles"`   // stats ignored
@@ -186,6 +190,33 @@ type RLConfig struct {
 	DoubleQ bool `json:"double_q"`
 }
 
+// QRouteConfig parameterizes per-router Q-routing (the qroute scheme):
+// each router learns a cost table Q[dst][port] from per-hop delivery
+// feedback and routes data packets along the learned argmin, restricted
+// to minimal productive ports, with the table-routed escape VC class
+// guaranteeing deadlock freedom (DESIGN.md §13).
+type QRouteConfig struct {
+	// Enabled turns learned routing on. Set by the scheme wiring, not by
+	// hand: core.NewSim enables it for SchemeQRoute.
+	Enabled bool `json:"enabled,omitempty"`
+	// Alpha is the Q-routing learning rate (TD step size toward the
+	// observed hop cost plus downstream estimate).
+	Alpha float64 `json:"alpha"`
+	// Epsilon is the probability a head flit explores a uniformly random
+	// permitted port instead of the argmin.
+	Epsilon float64 `json:"epsilon"`
+	// CongestionWeight scales the local congestion penalty (fraction of
+	// a candidate output port's data-VC credits consumed downstream)
+	// added to the learned cost at selection time, steering greedy
+	// choices away from backed-up links before queueing delay fully
+	// shows up in the learned hop estimates.
+	CongestionWeight float64 `json:"congestion_weight"`
+	// EscapeTimeout is how many cycles a routed head flit may wait for an
+	// adaptive-class VC grant before it is re-routed onto the escape
+	// class (table route), bounding adaptive-class starvation.
+	EscapeTimeout int `json:"escape_timeout"`
+}
+
 // Default returns the paper's Table II configuration with fault, thermal
 // and RL parameters chosen to land operating temperatures in the paper's
 // observed [50,100] C range and link utilizations below 0.3 flits/cycle.
@@ -225,6 +256,14 @@ func Default() Config {
 			// the RL reward.
 			UpdatePeriod: 250,
 			InitialC:     55.0,
+		},
+		QRoute: QRouteConfig{
+			// Hop costs are small integers (a few cycles), so a larger
+			// alpha than mode control converges within a chaos window.
+			Alpha:            0.3,
+			Epsilon:          0.05,
+			CongestionWeight: 4,
+			EscapeTimeout:    8,
 		},
 		RL: RLConfig{
 			Alpha: 0.1,
@@ -318,7 +357,40 @@ func (c *Config) Validate() error {
 	if err := c.Thermal.validate(); err != nil {
 		return err
 	}
-	return c.RL.validate()
+	if err := c.RL.validate(); err != nil {
+		return err
+	}
+	return c.validateQRoute()
+}
+
+// validateQRoute checks the Q-routing knobs against the rest of the
+// configuration. The VC floor doubles on the torus: qroute splits the
+// data VCs into escape and adaptive sub-ranges, and the torus dateline
+// rule halves each sub-range again.
+func (c *Config) validateQRoute() error {
+	q := &c.QRoute
+	if !q.Enabled {
+		return nil
+	}
+	switch {
+	case c.Routing == RoutingWestFirst:
+		return fmt.Errorf("config: qroute requires deterministic table routing for its escape class; westfirst is unsupported")
+	case c.TopologyKind() == TopologyTorus && c.VCsPerPort < 8:
+		return fmt.Errorf("config: qroute on a torus needs at least 8 VCs per port (escape/adaptive x dateline classes), got %d", c.VCsPerPort)
+	case c.VCsPerPort < 4:
+		return fmt.Errorf("config: qroute needs at least 4 VCs per port (escape + adaptive data classes), got %d", c.VCsPerPort)
+	case c.Routers() > 1024:
+		return fmt.Errorf("config: qroute tables scale with routers^2; at most 1024 routers supported, got %d", c.Routers())
+	case q.Alpha <= 0 || q.Alpha > 1:
+		return fmt.Errorf("config: qroute alpha must be in (0,1], got %g", q.Alpha)
+	case q.Epsilon < 0 || q.Epsilon > 1:
+		return fmt.Errorf("config: qroute epsilon must be in [0,1], got %g", q.Epsilon)
+	case q.CongestionWeight < 0:
+		return fmt.Errorf("config: qroute congestion weight must be non-negative, got %g", q.CongestionWeight)
+	case q.EscapeTimeout < 1:
+		return fmt.Errorf("config: qroute escape timeout must be positive, got %d", q.EscapeTimeout)
+	}
+	return nil
 }
 
 func (f *FaultConfig) validate() error {

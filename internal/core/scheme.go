@@ -40,17 +40,29 @@ const (
 	SchemeRL Scheme = "rl"
 )
 
+// SchemeQRoute extends the paper's four schemes with per-router
+// Q-routing: the RL mode controller of SchemeRL plus learned next-hop
+// selection (Boyan-Littman Q-routing over minimal productive ports, with
+// a table-routed escape VC class for deadlock freedom; DESIGN.md §13).
+// It is kept out of Schemes() so the paper's figures, suite and golden
+// pins stay exactly four bars.
+const SchemeQRoute Scheme = "qroute"
+
 // Schemes returns all schemes in the paper's presentation order.
 func Schemes() []Scheme { return []Scheme{SchemeCRC, SchemeARQ, SchemeDT, SchemeRL} }
 
+// AllSchemes returns every scheme the simulator implements: the paper's
+// four plus the qroute extension.
+func AllSchemes() []Scheme { return append(Schemes(), SchemeQRoute) }
+
 // ParseScheme converts a string to a Scheme.
 func ParseScheme(s string) (Scheme, error) {
-	for _, sc := range Schemes() {
+	for _, sc := range AllSchemes() {
 		if string(sc) == s {
 			return sc, nil
 		}
 	}
-	return "", fmt.Errorf("core: unknown scheme %q (want crc|arq-ecc|dt|rl)", s)
+	return "", fmt.Errorf("core: unknown scheme %q (want crc|arq-ecc|dt|rl|qroute)", s)
 }
 
 // reliabilityWeight scales the residual-corruption rate in the RL reward.
@@ -351,6 +363,10 @@ func buildController(scheme Scheme, cfg config.Config) (network.Controller, netw
 	case SchemeDT:
 		return NewDTController(cfg, routers), network.ControllerDT, true, nil
 	case SchemeRL:
+		return NewRLController(cfg, routers), network.ControllerRL, true, nil
+	case SchemeQRoute:
+		// Same mode controller as SchemeRL: chaos head-to-heads then
+		// isolate the routing policy as the only difference.
 		return NewRLController(cfg, routers), network.ControllerRL, true, nil
 	default:
 		return nil, network.ControllerNone, false, fmt.Errorf("core: unknown scheme %q", scheme)

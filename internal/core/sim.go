@@ -124,6 +124,10 @@ func (s *Sim) snapshot() Snapshot {
 
 // NewSim builds the network for a scheme.
 func NewSim(cfg config.Config, scheme Scheme) (*Sim, error) {
+	// The qroute scheme is the RL scheme plus learned routing; the network
+	// reads the flag (validated against the rest of the config) to build
+	// its per-router route agents.
+	cfg.QRoute.Enabled = scheme == SchemeQRoute
 	ctrl, kind, hasECC, err := buildController(scheme, cfg)
 	if err != nil {
 		return nil, err

@@ -38,6 +38,11 @@ const (
 	// DomainHardFault keys the randomized hard-fault (link/router kill)
 	// schedule generator; id is the campaign run index, cycle is 0.
 	DomainHardFault uint64 = 5
+	// DomainQRoute keys per-(router, cycle) exploration draws for the
+	// Q-routing scheme's epsilon-greedy next-hop selection; id is the
+	// router ID. Keyed per cycle so the draw sequence is invariant under
+	// the parallel Step() shard layout.
+	DomainQRoute uint64 = 6
 )
 
 // Source is the draw interface shared by detrand streams and

@@ -1,0 +1,80 @@
+package fault
+
+// Native Go fuzz harness for the hard-fault schedule parser, in the
+// style of the SECDED/CRC fuzzers under internal/coding. Run the full
+// fuzzer with e.g.
+//
+//	go test -fuzz FuzzParseHardFaults -fuzztime 30s ./internal/fault
+//
+// `go test` alone replays the seed corpus as regression tests.
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseHardFaults throws arbitrary specs at ParseHardFaults and
+// checks its contract: it returns a schedule or an error — it never
+// panics — and every accepted schedule is well-formed (positive cycles,
+// sorted output, in-range directions) and round-trips through
+// FormatSchedule back to an identical schedule.
+func FuzzParseHardFaults(f *testing.F) {
+	f.Add("")
+	f.Add("5000:l12.east")
+	f.Add("8000:r3")
+	f.Add("5000:l12.east,8000:r3,100:l0.north")
+	f.Add(" 1:r0 , 2:l1.west ")
+	f.Add(",,,")
+	f.Add("5000:")
+	f.Add("5000:x9")
+	f.Add(":r3")
+	f.Add("-1:r3")
+	f.Add("1:l5")
+	f.Add("1:l5.")
+	f.Add("1:l5.up")
+	f.Add("1:r-2")
+	f.Add("9999999999999999999999:r0") // cycle overflows int64
+	f.Add("1:r3,")
+	f.Add("1:l5.east.west")
+	f.Add("\x00:r\x00")
+	f.Fuzz(func(t *testing.T, spec string) {
+		sched, err := ParseHardFaults(spec)
+		if err != nil {
+			if sched != nil {
+				t.Fatalf("error %v with non-nil schedule %v", err, sched)
+			}
+			if !strings.HasPrefix(err.Error(), "fault: hard fault ") {
+				t.Fatalf("off-convention error message: %v", err)
+			}
+			return
+		}
+		for i, h := range sched {
+			if h.Cycle < 1 {
+				t.Fatalf("entry %d: non-positive cycle %d from %q", i, h.Cycle, spec)
+			}
+			if i > 0 && sched[i-1].Cycle > h.Cycle {
+				t.Fatalf("schedule not sorted at %d: %v from %q", i, sched, spec)
+			}
+			if h.Router < 0 {
+				t.Fatalf("entry %d: negative router %d from %q", i, h.Router, spec)
+			}
+			if h.Kind != KillLink && h.Kind != KillRouter {
+				t.Fatalf("entry %d: bad kind %d from %q", i, h.Kind, spec)
+			}
+		}
+		// Round trip: the canonical rendering must parse back to the
+		// same schedule (parsing is idempotent on its own output).
+		again, err := ParseHardFaults(FormatSchedule(sched))
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", FormatSchedule(sched), spec, err)
+		}
+		if len(again) != len(sched) {
+			t.Fatalf("round trip changed length: %v vs %v", sched, again)
+		}
+		for i := range sched {
+			if again[i] != sched[i] {
+				t.Fatalf("round trip changed entry %d: %v vs %v", i, sched[i], again[i])
+			}
+		}
+	})
+}

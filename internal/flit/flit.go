@@ -176,6 +176,12 @@ type Flit struct {
 	// entirely — a simulator-level shortcut with no hardware analogue
 	// (hardware always checks; the simulator knows where it injected).
 	Dirty bool
+
+	// HopStart is the cycle the flit entered its current input buffer
+	// (at the source NI or at a downstream router). The Q-routing scheme
+	// reads it when the flit is accepted at the next hop to measure the
+	// per-hop delivery cost fed back to the upstream router's agent.
+	HopStart int64
 }
 
 // Clone returns a deep copy of the flit (packets are shared). Used by

@@ -194,6 +194,16 @@ func (n *Network) applyHardFaults() {
 	n.unreachablePairs = fa.Reroute(func(id int, d topology.Direction) bool {
 		return n.routers[id].outputs[d].dead
 	})
+	if n.qr != nil {
+		// The permitted mask reads surviving-hop distances; refresh them
+		// against the fabric the reroute just rebuilt.
+		n.qr.rebuildDist(n.topo, func(id int, d topology.Direction) bool {
+			return n.routers[id].outputs[d].dead
+		})
+	}
+	if n.recov != nil {
+		n.recov.RecordKill(n.cycle)
+	}
 	n.sweepAfterFaults(sw)
 	n.resolveCondemned(sw)
 }
@@ -369,6 +379,8 @@ func (n *Network) purgeVC(r *Router, port topology.Direction, vc *inputVC, reaso
 	vc.routed = false
 	vc.outVC = -1
 	vc.pkt = nil
+	vc.qAdaptive = false
+	vc.qWait = 0
 }
 
 // sweepAfterFaults walks the surviving fabric after reroute and condemns

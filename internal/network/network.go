@@ -119,6 +119,14 @@ type Network struct {
 	hardFaulted      bool
 	deadRouter       []bool
 	condemned        map[uint64]int32
+
+	// qr holds the learned-routing machinery for the qroute scheme
+	// (qroute.go); nil for every other scheme. recov tracks per-kill
+	// time-to-recover whenever a hard-fault schedule is configured,
+	// regardless of scheme, so chaos head-to-heads can compare recovery
+	// across routing policies.
+	qr    *qrouteState
+	recov *stats.RecoveryLog
 	ctrlLive         map[uint64]*flit.Packet
 	unreachablePairs int
 
@@ -247,6 +255,12 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		p.vcPendingFree = make([]bool, cfg.VCsPerPort)
 	}
 	net.ctrlLive = make(map[uint64]*flit.Packet)
+	if cfg.QRoute.Enabled {
+		net.qr = newQRouteState(cfg, topo)
+		net.qr.rebuildDist(topo, func(id int, d topology.Direction) bool {
+			return net.routers[id].outputs[d].dead
+		})
+	}
 	if cfg.HardFaults != "" {
 		if adaptive {
 			return nil, fmt.Errorf("network: hard faults require deterministic (table) routing; west-first is coordinate math blind to dead links")
@@ -262,6 +276,7 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 			return nil, err
 		}
 		net.hardSched = sched
+		net.recov = stats.NewRecoveryLog()
 	}
 	checkSpec := cfg.Checks
 	if checkSpec == "" {
@@ -481,6 +496,9 @@ func (n *Network) deliverData(pkt *flit.Packet, cycle int64) {
 	n.totalDelivered++
 	n.lastDelivery = cycle
 	n.lastProgress = cycle
+	if n.recov != nil {
+		n.recov.RecordDelivery(cycle)
+	}
 	n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KDeliver, Router: pkt.Dst,
 		Packet: pkt.ID, Aux: latency})
 }
@@ -893,6 +911,14 @@ func (n *Network) applyWireOp(op wireOp) {
 			panic(fmt.Sprintf("network: credit protocol violated: router %d port %v vc %d overflow",
 				down, op.inPort, op.f.VC))
 		}
+		if n.qr != nil && op.f.Type.IsHead() && op.f.Packet.Kind == flit.Data {
+			// The hop completed: feed the realized cost back to the
+			// upstream router's agent, then restart the hop clock for the
+			// next leg. Runs on the main goroutine in ascending
+			// (router, port) order on every stepping path.
+			n.qrouteFeedback(down, op.inPort, op.f.HopStart, op.f.Packet.Dst)
+		}
+		op.f.HopStart = cycle
 		vcBuf.push(op.f, cycle+pipelineFill)
 		n.markPipe(down)
 		n.meter.BufferWrite(down)
@@ -987,7 +1013,20 @@ func (n *Network) releaseVCs(p *outputPort) {
 // unrouted head flit at its front.
 func (n *Network) routeCompute(r *Router, vc *inputVC, front *bufFlit) {
 	pkt := front.f.Packet
-	if n.adaptive {
+	vc.qAdaptive = false
+	vc.qWait = 0
+	if n.qr != nil && pkt.Kind == flit.Data && pkt.Dst != r.id {
+		// Learned route over the permitted (live, strictly-productive)
+		// ports; empty mask falls back to the deterministic table route
+		// on the escape VC class. Control packets always take the table
+		// route — the retransmission protocol depends on their paths.
+		if out, ok := n.qrouteChoose(r, pkt.Dst); ok {
+			vc.outPort = out
+			vc.qAdaptive = true
+		} else {
+			vc.outPort = n.topo.Route(r.id, pkt.Dst)
+		}
+	} else if n.adaptive {
 		vc.outPort = n.routeAdaptive(r, pkt)
 	} else {
 		vc.outPort = n.topo.Route(r.id, pkt.Dst)
@@ -1021,6 +1060,18 @@ func (n *Network) vaTryGrant(r *Router, op *outputPort, out topology.Direction, 
 		return false
 	}
 	lo, hi := n.vcRange(front.f.Packet.Kind != flit.Data)
+	if n.qr != nil && front.f.Packet.Kind == flit.Data && out != topology.Local {
+		// Escape/adaptive split (qroute only): learned routes allocate
+		// exclusively from the upper half of the data VCs; deterministic
+		// table routes keep the lower (escape) half, which remains
+		// deadlock-free on its own. See DESIGN.md §13.
+		mid := lo + (hi-lo)/2
+		if vc.qAdaptive {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
 	if n.wrapVCs {
 		// Dateline rule (wraparound fabrics only): each VC class splits
 		// into wrap classes 0 (lower half) and 1 (upper half), and the
@@ -1060,7 +1111,13 @@ func (n *Network) routeAndAllocate(r *Router) {
 		m &^= 1 << uint(slot)
 		vc := r.inputs[slot/vcs][slot%vcs]
 		front := vc.front()
-		if front == nil || vc.routed || !front.f.Type.IsHead() {
+		if front == nil || !front.f.Type.IsHead() {
+			continue
+		}
+		if vc.routed {
+			if n.qr != nil {
+				n.qrouteEscalate(r, vc)
+			}
 			continue
 		}
 		n.routeCompute(r, vc, front)
@@ -1101,7 +1158,13 @@ func (n *Network) routeAndAllocateDense(r *Router) {
 	for port := topology.Direction(0); port < topology.NumPorts; port++ {
 		for _, vc := range r.inputs[port] {
 			front := vc.front()
-			if front == nil || vc.routed || !front.f.Type.IsHead() {
+			if front == nil || !front.f.Type.IsHead() {
+				continue
+			}
+			if vc.routed {
+				if n.qr != nil {
+					n.qrouteEscalate(r, vc)
+				}
 				continue
 			}
 			n.routeCompute(r, vc, front)
@@ -1309,6 +1372,8 @@ func (n *Network) grantAndSend(r *Router, inPort topology.Direction, vc *inputVC
 		vc.routed = false
 		vc.outVC = -1
 		vc.pkt = nil
+		vc.qAdaptive = false
+		vc.qWait = 0
 	}
 
 	if op.dir == topology.Local {

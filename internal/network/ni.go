@@ -138,6 +138,7 @@ func (ni *NI) injectClass(cycle int64, cur **txState, queue *[]*flit.Packet, con
 	}
 	f := ni.makeFlit(st.pkt, st.next)
 	f.VC = st.vc
+	f.HopStart = cycle // first-hop clock for the qroute learning signal
 	vcBuf.push(f, cycle+pipelineFill)
 	if ni.net.inParallel {
 		ni.sh.setPipe(ni.id)

@@ -39,6 +39,13 @@ type inputVC struct {
 	// hard-fault sweep needs that identity: a kill can strand a VC in
 	// exactly that state, with nothing left in buf to name the owner.
 	pkt *flit.Packet
+
+	// Q-routing (qroute scheme) only. qAdaptive marks the resident route
+	// as learned — VC allocation must serve it from the adaptive (upper)
+	// data-VC sub-range — and qWait counts cycles the routed head has sat
+	// without a VC grant before escalating onto the escape class.
+	qAdaptive bool
+	qWait     int64
 }
 
 func (vc *inputVC) empty() bool { return len(vc.buf) == 0 }

@@ -29,6 +29,11 @@ func runWithWorkers(t *testing.T, scheme core.Scheme, topo string, workers int) 
 	cfg.Seed = 4242
 	cfg.Topology = topo
 	cfg.StepWorkers = workers
+	if scheme == core.SchemeQRoute && topo == "torus" {
+		// qroute on a wraparound fabric quarters the data VCs
+		// (escape/adaptive x dateline), so it needs 8 VCs per port.
+		cfg.VCsPerPort = 8
+	}
 	sim, err := core.NewSim(cfg, scheme)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +67,12 @@ func TestParallelStepMatchesSequential(t *testing.T) {
 		{core.SchemeARQ, "mesh"},
 		{core.SchemeRL, "mesh"},
 		{core.SchemeRL, "torus"},
+		// qroute adds per-router learned routing: RC-stage exploration
+		// draws and escape-class escalation on worker goroutines, TD
+		// updates at the wire commit. Both topologies must stay
+		// bit-identical across shard layouts.
+		{core.SchemeQRoute, "mesh"},
+		{core.SchemeQRoute, "torus"},
 	}
 	for _, tc := range cases {
 		ref := serialize(t, runWithWorkers(t, tc.scheme, tc.topo, 1))

@@ -56,8 +56,18 @@ const (
 	RL  Scheme = core.SchemeRL  // proposed Q-learning controller
 )
 
+// QRoute extends the paper's four schemes with per-router Q-routing:
+// the RL mode controller plus learned fault-adaptive next-hop selection
+// (see DESIGN.md §13). Not part of Schemes(), so the paper's figures
+// keep exactly four bars.
+const QRoute Scheme = core.SchemeQRoute
+
 // Schemes returns all schemes in the paper's presentation order.
 func Schemes() []Scheme { return core.Schemes() }
+
+// AllSchemes returns every implemented scheme: the paper's four plus
+// the qroute extension.
+func AllSchemes() []Scheme { return core.AllSchemes() }
 
 // ParseScheme converts a string to a Scheme.
 func ParseScheme(s string) (Scheme, error) { return core.ParseScheme(s) }
