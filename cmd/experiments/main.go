@@ -49,6 +49,7 @@ func run() error {
 		benchOut  = flag.String("bench-out", "BENCH_baseline.json", "baseline file path for -bench-baseline / -bench-compare")
 		benchCyc  = flag.Int64("bench-cycles", 20_000, "measured cycles per scheme for the cycle-loop baseline")
 		benchGate = flag.String("bench-gate", "allocs", "which -bench-compare regressions fail the run: allocs|speed|all")
+		benchScen = flag.String("bench-scenarios", "", "comma-separated scenario subset for -bench-baseline / -bench-compare (default: all)")
 		workers   = flag.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS)")
 		stepW     = flag.Int("step-workers", 0, "per-Step shard workers, deterministic (0 = config/env, 1 = sequential)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the measured bench loops to this file")
@@ -89,6 +90,10 @@ func run() error {
 	if *benchFlag != "" {
 		benchmarks = strings.Split(*benchFlag, ",")
 	}
+	var benchSubset []string
+	if *benchScen != "" {
+		benchSubset = strings.Split(*benchScen, ",")
+	}
 
 	did := false
 	if *table2 {
@@ -116,13 +121,13 @@ func run() error {
 		did = true
 	}
 	if *benchBase {
-		if err := runBenchBaseline(cfg, *benchOut, *benchCyc, prof); err != nil {
+		if err := runBenchBaseline(cfg, *benchOut, *benchCyc, benchSubset, prof); err != nil {
 			return err
 		}
 		did = true
 	}
 	if *benchComp {
-		if err := runBenchCompare(cfg, *benchOut, *benchCyc, *benchGate, prof); err != nil {
+		if err := runBenchCompare(cfg, *benchOut, *benchCyc, *benchGate, benchSubset, prof); err != nil {
 			return err
 		}
 		did = true

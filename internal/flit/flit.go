@@ -140,6 +140,17 @@ type Flit struct {
 	Seq    int // index within the packet
 	Type   Type
 
+	// Value-copied packet identity, stamped at materialization
+	// (NI.makeFlit) and propagated by Clone. The wire/ARQ hot paths and
+	// every screen that may see a straggler copy (sequence screen, hard-
+	// fault poison, kill sweeps) read these instead of dereferencing
+	// Packet: a stale copy can outlive its packet once the packet has
+	// retired to the PacketPool, and the value fields also keep the hot
+	// loops walking flit memory instead of chasing the packet pointer.
+	PacketID uint64
+	Kind     Kind
+	Src, Dst int32
+
 	// Attempt is the packet's Retransmissions count when this flit was
 	// materialized. After a hard fault condemns an attempt (its flits were
 	// casualties of a killed link or router), straggler copies of that
@@ -206,5 +217,5 @@ func (f *Flit) RestorePayload() {
 
 func (f *Flit) String() string {
 	return fmt.Sprintf("flit{pkt=%d seq=%d %v %d->%d vc=%d}",
-		f.Packet.ID, f.Seq, f.Type, f.Packet.Src, f.Packet.Dst, f.VC)
+		f.PacketID, f.Seq, f.Type, f.Src, f.Dst, f.VC)
 }

@@ -90,7 +90,7 @@ func (n *Network) recordDrop(router int, pkt uint64, reason stats.DropReason) {
 // dropFlit counts, logs and retires one discarded flit.
 func (n *Network) dropFlit(f *flit.Flit, r *Router, reason stats.DropReason) {
 	n.stats.Drop(reason)
-	n.recordDrop(r.id, f.Packet.ID, reason)
+	n.recordDrop(r.id, f.PacketID, reason)
 	r.pool.Put(f)
 }
 
@@ -101,7 +101,7 @@ func (n *Network) poisoned(f *flit.Flit) bool {
 	if n.condemned == nil {
 		return false
 	}
-	att, ok := n.condemned[f.Packet.ID]
+	att, ok := n.condemned[f.PacketID]
 	return ok && f.Attempt <= att
 }
 
@@ -129,14 +129,34 @@ func (n *Network) condemnPkt(sw *faultSweep, pkt *flit.Packet, attempt int32, re
 
 // condemnFlit condemns the attempt a casualty flit belongs to. An
 // attempt already condemned at or above this flit's is left alone (its
-// resolution was recorded when it was first condemned).
+// resolution was recorded when it was first condemned). A casualty whose
+// packet already settled (delivered, declared, or cancelled — and hence
+// recycled) needs no condemnation: it was a straggler copy the ARQ
+// sequence screen would have dropped anyway, so it is simply discarded
+// by the caller.
 func (n *Network) condemnFlit(sw *faultSweep, f *flit.Flit, reason stats.DropReason) {
 	if n.condemned != nil {
-		if cur, ok := n.condemned[f.Packet.ID]; ok && f.Attempt <= cur {
+		if cur, ok := n.condemned[f.PacketID]; ok && f.Attempt <= cur {
 			return
 		}
 	}
-	n.condemnPkt(sw, f.Packet, f.Attempt, reason, false)
+	pkt := n.livePacket(f)
+	if pkt == nil {
+		return
+	}
+	n.condemnPkt(sw, pkt, f.Attempt, reason, false)
+}
+
+// livePacket resolves a flit's packet through the authoritative liveness
+// table for its kind — the source replay buffer for data, the in-flight
+// control ledger for NACKs — rather than the flit's Packet pointer, which
+// may dangle into the packet pool once the packet settles. Returns nil
+// for flits of settled packets.
+func (n *Network) livePacket(f *flit.Flit) *flit.Packet {
+	if f.Kind == flit.NackE2E {
+		return n.ctrlLive[f.PacketID]
+	}
+	return n.nis[int(f.Src)].replay[f.PacketID]
 }
 
 // residentOf identifies the packet occupying an input VC: the front
@@ -308,7 +328,7 @@ func (n *Network) killRouter(id int, sw *faultSweep) bool {
 	for _, c := range ni.ctrlQueue {
 		n.condemnPkt(sw, c, 0, stats.DropDeadRouter, false)
 	}
-	if ni.curCtrl != nil {
+	if ni.curCtrl.pkt != nil {
 		n.condemnPkt(sw, ni.curCtrl.pkt, 0, stats.DropDeadRouter, false)
 	}
 	for i := range ni.dataQueue {
@@ -319,8 +339,8 @@ func (n *Network) killRouter(id int, sw *faultSweep) bool {
 		ni.ctrlQueue[i] = nil
 	}
 	ni.ctrlQueue = ni.ctrlQueue[:0]
-	ni.curData = nil
-	ni.curCtrl = nil
+	ni.curData = txState{}
+	ni.curCtrl = txState{}
 	for i := range ni.localVCBusy {
 		ni.localVCBusy[i] = false
 	}
@@ -421,12 +441,12 @@ func (n *Network) sweepAfterFaults(sw *faultSweep) {
 				continue
 			}
 			for i := range p.inflight {
-				if f := p.inflight[i].f; !topology.Reachable(n.topo, p.downstream, f.Packet.Dst) {
+				if f := p.inflight[i].f; !topology.Reachable(n.topo, p.downstream, int(f.Dst)) {
 					n.condemnFlit(sw, f, stats.DropUnreachable)
 				}
 			}
 			for i := range p.unacked {
-				if f := p.unacked[i].f; !topology.Reachable(n.topo, p.downstream, f.Packet.Dst) {
+				if f := p.unacked[i].f; !topology.Reachable(n.topo, p.downstream, int(f.Dst)) {
 					n.condemnFlit(sw, f, stats.DropUnreachable)
 				}
 			}
@@ -535,15 +555,17 @@ func (n *Network) resolveCtrl(rec *condemnedRec) {
 	if !n.isDeadRouter(c.Src) {
 		src := n.nis[c.Src]
 		src.ctrlQueue = removePacket(src.ctrlQueue, c)
-		if src.curCtrl != nil && src.curCtrl.pkt == c {
-			src.releaseLocalVC(src.curCtrl.vc)
-			src.curCtrl = nil
-		}
+		src.abortTx(c)
 	}
-	if n.isDeadRouter(c.Dst) {
+	// The cancelled control packet settles here; copy out what the
+	// re-issue below needs, then retire it (its wire stragglers carry
+	// identity by value and fall to the sequence screen).
+	refID, dataSrc := c.RefID, c.Dst
+	n.pktPool.Put(c)
+	if n.isDeadRouter(dataSrc) {
 		return // the data source died; killRouter declared its packets
 	}
-	ref, ok := n.nis[c.Dst].replay[c.RefID]
+	ref, ok := n.nis[dataSrc].replay[refID]
 	if !ok {
 		return
 	}
@@ -572,12 +594,12 @@ func (n *Network) declarePacket(pkt *flit.Packet, reason stats.DropReason) {
 	n.stats.Drop(reason)
 	n.recordDrop(pkt.Src, pkt.ID, reason)
 	src.dataQueue = removePacket(src.dataQueue, pkt)
-	if src.curData != nil && src.curData.pkt == pkt {
-		src.releaseLocalVC(src.curData.vc)
-		src.curData = nil
-	}
+	src.abortTx(pkt)
 	n.flushReasm(pkt, reason)
 	n.lastProgress = n.cycle
+	// Declared means settled: no queue, no replay entry, no buffered flits
+	// (the sweep purged them). Surviving wire copies screen out by value.
+	n.pktPool.Put(pkt)
 }
 
 // forceRetransmit re-queues a packet whose current attempt was condemned
@@ -594,12 +616,9 @@ func (n *Network) forceRetransmit(pkt *flit.Packet) {
 			return // already awaiting (re)injection
 		}
 	}
-	if src.curData != nil && src.curData.pkt == pkt {
-		// Mid-stream: the purge already emptied the local VC; abandon the
-		// attempt so the fresh one starts from flit zero.
-		src.releaseLocalVC(src.curData.vc)
-		src.curData = nil
-	}
+	// Mid-stream: the purge already emptied the local VC; abandon the
+	// attempt so the fresh one starts from flit zero.
+	src.abortTx(pkt)
 	n.flushReasm(pkt, stats.DropKilledLink)
 	pkt.Retransmissions++
 	n.stats.Measuref(func(c *statsCollector) { c.SourceRetransmissions++ })

@@ -85,6 +85,13 @@ type Network struct {
 	// keeping the steady-state cycle loop allocation-free.
 	fpool flit.Pool
 
+	// pktPool recycles settled packets (delivered, declared, resolved
+	// control) back into buildPacket, with their Payload/CRCs/Path backing
+	// arrays. Main-goroutine only: packets are built and settled at
+	// injection, ejection commit and hard-fault resolution, never inside a
+	// parallel compute pass.
+	pktPool flit.PacketPool
+
 	// Sharded parallel stepping (DESIGN.md §11). workers is the resolved
 	// shard count; 1 means the fully-ordered sequential reference path.
 	// forceSeq pins the sequential path regardless of workers (the referee
@@ -222,10 +229,38 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 	if net.dataVCs < 1 {
 		net.dataVCs = 1
 	}
+	// Structure-of-arrays hot state (DESIGN.md §14): routers, NIs, input
+	// VCs, flit buffers, output ports and per-link credit tables all live
+	// in contiguous network-wide arenas, indexed so a shard's routers
+	// occupy one linear span. The per-router structs remain the API —
+	// they are views into the arenas — but the parallel workers' phase
+	// walks now touch sequential memory instead of chasing per-router
+	// heap islands.
+	// Size fresh packets' route records for this fabric: the longest
+	// minimal route is Width+Height-2 hops, plus slack for adaptive
+	// detours, so Path never regrows mid-flight even on a 64x64 mesh.
+	net.pktPool.PathHint = cfg.Width + cfg.Height + 8
+	vcs := cfg.VCsPerPort
+	ports := int(topology.NumPorts)
+	routerArr := make([]Router, n)
+	niArr := make([]NI, n)
+	vcArr := make([]inputVC, n*ports*vcs)
+	ptrArr := make([]*inputVC, n*ports*vcs)
+	bufArr := make([]bufFlit, n*ports*vcs*cfg.VCDepth)
+	portArr := make([]outputPort, n*ports)
+	lvbArr := make([]bool, n*vcs)
 	for id := 0; id < n; id++ {
-		net.routers[id] = newRouter(id, cfg.VCsPerPort, cfg.VCDepth)
-		net.routers[id].pool = &net.fpool
-		net.nis[id] = newNI(id, cfg.VCsPerPort, net, cfg.Seed*31+100+int64(id))
+		r := &routerArr[id]
+		base := id * ports * vcs
+		initRouter(r, id, vcs, cfg.VCDepth,
+			vcArr[base:base+ports*vcs:base+ports*vcs],
+			ptrArr[base:base+ports*vcs:base+ports*vcs],
+			bufArr[base*cfg.VCDepth:(base+ports*vcs)*cfg.VCDepth:(base+ports*vcs)*cfg.VCDepth])
+		r.pool = &net.fpool
+		net.routers[id] = r
+		ni := &niArr[id]
+		initNI(ni, id, net, cfg.Seed*31+100+int64(id), lvbArr[id*vcs:(id+1)*vcs:(id+1)*vcs])
+		net.nis[id] = ni
 	}
 	// Wire output ports from the topology's edge list: every port starts
 	// unwired (Local ejects to the router's own NI), then each Link claims
@@ -233,7 +268,8 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 	for id := 0; id < n; id++ {
 		r := net.routers[id]
 		for dir := topology.Direction(0); dir < topology.NumPorts; dir++ {
-			p := &outputPort{dir: dir, owner: id, downstream: -1, resendIdx: -1, wireScale: 1,
+			p := &portArr[id*ports+int(dir)]
+			*p = outputPort{dir: dir, owner: id, downstream: -1, resendIdx: -1, wireScale: 1,
 				linkID: -1}
 			if dir == topology.Local {
 				p.downstream = id // ejection to own NI
@@ -241,18 +277,22 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 			r.outputs[dir] = p
 		}
 	}
-	for _, l := range topo.Links() {
+	links := topo.Links()
+	credArr := make([]int, len(links)*vcs)
+	busyArr := make([]bool, len(links)*vcs)
+	pendArr := make([]bool, len(links)*vcs)
+	for li, l := range links {
 		p := net.routers[l.Src].outputs[l.Dir]
 		p.downstream = l.Dst
 		p.inPort = l.Dir.Opposite()
 		p.wireScale = l.Length
 		p.linkID = topo.LinkIndex(l.Src, l.Dir)
-		p.credits = make([]int, cfg.VCsPerPort)
+		p.credits = credArr[li*vcs : (li+1)*vcs : (li+1)*vcs]
 		for v := range p.credits {
 			p.credits[v] = cfg.VCDepth
 		}
-		p.vcBusy = make([]bool, cfg.VCsPerPort)
-		p.vcPendingFree = make([]bool, cfg.VCsPerPort)
+		p.vcBusy = busyArr[li*vcs : (li+1)*vcs : (li+1)*vcs]
+		p.vcPendingFree = pendArr[li*vcs : (li+1)*vcs : (li+1)*vcs]
 	}
 	net.ctrlLive = make(map[uint64]*flit.Packet)
 	if cfg.QRoute.Enabled {
@@ -438,18 +478,14 @@ func (n *Network) NewDataPacket(src, dst, flits int, createdAt int64) (*flit.Pac
 
 func (n *Network) buildPacket(kind flit.Kind, src, dst, nflits int, createdAt int64, ref uint64) *flit.Packet {
 	n.packetSeq++
-	p := &flit.Packet{
-		ID:              n.packetSeq,
-		Kind:            kind,
-		Src:             src,
-		Dst:             dst,
-		RefID:           ref,
-		CreatedAt:       createdAt,
-		FirstInjectedAt: -1,
-		Payload:         make([]uint64, nflits*flit.WordsPerFlit),
-		CRCs:            make([]uint16, nflits),
-	}
-	p.SetNumFlits(nflits)
+	p := n.pktPool.Get(nflits)
+	p.ID = n.packetSeq
+	p.Kind = kind
+	p.Src = src
+	p.Dst = dst
+	p.RefID = ref
+	p.CreatedAt = createdAt
+	p.FirstInjectedAt = -1
 	rng := n.nis[src].rng
 	for i := range p.Payload {
 		p.Payload[i] = rng.Uint64()
@@ -501,6 +537,9 @@ func (n *Network) deliverData(pkt *flit.Packet, cycle int64) {
 	}
 	n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KDeliver, Router: pkt.Dst,
 		Packet: pkt.ID, Aux: latency})
+	// Settled: recycle the packet and its backing arrays. Any remaining
+	// wire copies are ARQ ghosts the sequence screens drop by value.
+	n.pktPool.Put(pkt)
 }
 
 // applyMode sets a router's operation mode on all its link output ports.
@@ -775,7 +814,7 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit, sh *shar
 
 	var flags uint8
 	accept := true
-	if !wf.eccValid && n.ctrlKind != ControllerNone && wf.f.Packet.Kind == flit.Data {
+	if !wf.eccValid && n.ctrlKind != ControllerNone && wf.f.Kind == flit.Data {
 		// Adaptive-scheme routers snoop the per-flit CRC on ECC-bypassed
 		// links (detection only — recovery still happens end-to-end).
 		// A mismatch raises an advisory NACK on the existing ack wires:
@@ -803,7 +842,7 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit, sh *shar
 		// the encoder, so a clean copy decodes to "OK" on every word.
 		// The decode energy is charged unconditionally, as in hardware
 		// (and as in the dense referee path).
-		if wf.f.Packet.Kind == flit.Data && wf.corrupted {
+		if wf.f.Kind == flit.Data && wf.corrupted {
 			corrected := false
 			for w := 0; w < flit.WordsPerFlit; w++ {
 				word, res := coding.DecodeSECDED(wf.f.Payload[w], wf.f.ECCCheck[w])
@@ -839,7 +878,7 @@ func (n *Network) receiveOnLink(up *Router, p *outputPort, wf wireFlit, sh *shar
 		flags |= opNACKOut
 		n.emitWireOp(wireOp{down: int32(p.downstream), flags: flags}, sh)
 		n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KNACK, Router: p.downstream,
-			Packet: wf.f.Packet.ID, Aux: int64(wf.f.Seq)})
+			Packet: wf.f.PacketID, Aux: int64(wf.f.Seq)})
 		return
 	}
 
@@ -911,12 +950,12 @@ func (n *Network) applyWireOp(op wireOp) {
 			panic(fmt.Sprintf("network: credit protocol violated: router %d port %v vc %d overflow",
 				down, op.inPort, op.f.VC))
 		}
-		if n.qr != nil && op.f.Type.IsHead() && op.f.Packet.Kind == flit.Data {
+		if n.qr != nil && op.f.Type.IsHead() && op.f.Kind == flit.Data {
 			// The hop completed: feed the realized cost back to the
 			// upstream router's agent, then restart the hop clock for the
 			// next leg. Runs on the main goroutine in ascending
 			// (router, port) order on every stepping path.
-			n.qrouteFeedback(down, op.inPort, op.f.HopStart, op.f.Packet.Dst)
+			n.qrouteFeedback(down, op.inPort, op.f.HopStart, int(op.f.Dst))
 		}
 		op.f.HopStart = cycle
 		vcBuf.push(op.f, cycle+pipelineFill)
@@ -926,8 +965,47 @@ func (n *Network) applyWireOp(op wireOp) {
 		dr.winFlitsIn++
 		n.lastProgress = cycle
 		n.elog.Record(eventlog.Event{Cycle: cycle, Kind: eventlog.KAccept, Router: down,
-			Packet: op.f.Packet.ID, Aux: int64(op.f.Seq)})
+			Packet: op.f.PacketID, Aux: int64(op.f.Seq)})
 	}
+}
+
+// applyWireOpOwned is applyWireOp specialized for the concurrent wire
+// commit (commitWiresShard). The caller guarantees: op lands on a
+// router sh owns, op is not an ejection, the run has no condemned
+// attempts (so the poison screen is a constant false and the
+// restitution branch is dead), no learned routing, and no event log.
+// Under those guarantees every write here is indexed by the owned
+// router — meter counters, per-router stat windows, the input VC, the
+// flit itself — except the activity mark and progress stamp, which are
+// staged on the shard and merged by the main goroutine.
+func (n *Network) applyWireOpOwned(op *wireOp, sh *shardState) {
+	down := int(op.down)
+	cycle := n.cycle
+	if op.flags&opCRCCheck != 0 {
+		n.meter.CRCCheck(down)
+	}
+	if op.flags&opECCDecode != 0 {
+		n.meter.ECCDecode(down)
+	}
+	if op.flags&opNACKOut != 0 {
+		n.stats.RouterNACKOut(down)
+	}
+	if op.flags&opAccept == 0 {
+		return
+	}
+	dr := n.routers[down]
+	vcBuf := dr.inputs[op.inPort][op.f.VC]
+	if vcBuf.full() {
+		panic(fmt.Sprintf("network: credit protocol violated: router %d port %v vc %d overflow",
+			down, op.inPort, op.f.VC))
+	}
+	op.f.HopStart = cycle
+	vcBuf.push(op.f, cycle+pipelineFill)
+	sh.setPipe(down)
+	n.meter.BufferWrite(down)
+	n.stats.RouterFlitIn(down)
+	dr.winFlitsIn++
+	sh.progress = true
 }
 
 // processAcks consumes ACK/NACK wire messages at the upstream port.
@@ -1059,8 +1137,8 @@ func (n *Network) vaTryGrant(r *Router, op *outputPort, out topology.Direction, 
 	if front == nil || !vc.routed || vc.outVC != -1 || vc.outPort != out {
 		return false
 	}
-	lo, hi := n.vcRange(front.f.Packet.Kind != flit.Data)
-	if n.qr != nil && front.f.Packet.Kind == flit.Data && out != topology.Local {
+	lo, hi := n.vcRange(front.f.Kind != flit.Data)
+	if n.qr != nil && front.f.Kind == flit.Data && out != topology.Local {
 		// Escape/adaptive split (qroute only): learned routes allocate
 		// exclusively from the upper half of the data VCs; deterministic
 		// table routes keep the lower (escape) half, which remains
@@ -1078,7 +1156,7 @@ func (n *Network) vaTryGrant(r *Router, op *outputPort, out topology.Direction, 
 		// topology dictates which half this hop may allocate from. See
 		// Topology.WrapVCClass for the deadlock-freedom argument.
 		mid := lo + (hi-lo)/2
-		if n.topo.WrapVCClass(r.id, front.f.Packet.Dst, out) == 0 {
+		if n.topo.WrapVCClass(r.id, int(front.f.Dst), out) == 0 {
 			hi = mid
 		} else {
 			lo = mid
@@ -1431,7 +1509,7 @@ func (n *Network) transmit(r *Router, op *outputPort, f *flit.Flit, sh *shardSta
 	op.winSent++
 	op.winSentEpoch++
 	n.elog.Record(eventlog.Event{Cycle: n.cycle, Kind: eventlog.KLinkTx, Router: r.id,
-		Packet: f.Packet.ID, Aux: int64(f.Seq)})
+		Packet: f.PacketID, Aux: int64(f.Seq)})
 
 	if mode == Mode2 {
 		dup := r.pool.Clone(op.unacked[len(op.unacked)-1].f)
@@ -1466,7 +1544,7 @@ func (n *Network) retransmit(r *Router, op *outputPort, sh *shardState) {
 	n.countStat(evLinkRetransmissions, sh)
 	n.progressCtx(sh)
 	n.elog.Record(eventlog.Event{Cycle: n.cycle, Kind: eventlog.KRetx, Router: r.id,
-		Packet: e.f.Packet.ID, Aux: int64(e.f.Seq)})
+		Packet: e.f.PacketID, Aux: int64(e.f.Seq)})
 }
 
 // pushWire appends an in-flight flit, enforcing monotone arrival order so
@@ -1497,7 +1575,7 @@ func (n *Network) pushWire(op *outputPort, wf wireFlit, sh *shardState) {
 // (deferred by transmit) over the pre-corruption payload before flipping,
 // preserving what an eager encoder would have stored.
 func (n *Network) corrupt(r *Router, op *outputPort, f *flit.Flit, eccPending bool, sh *shardState) bool {
-	if f.Packet.Kind != flit.Data {
+	if f.Kind != flit.Data {
 		return false
 	}
 	if op.rngCycle != n.cycle {

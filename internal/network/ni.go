@@ -19,8 +19,11 @@ type NI struct {
 	dataQueue []*flit.Packet
 	ctrlQueue []*flit.Packet
 
-	curData *txState
-	curCtrl *txState
+	// curData/curCtrl track the packet mid-stream in each traffic class,
+	// held by value (pkt == nil means idle) so starting a packet never
+	// allocates.
+	curData txState
+	curCtrl txState
 
 	localVCBusy []bool
 
@@ -52,11 +55,13 @@ type txState struct {
 	vc   int
 }
 
-func newNI(id int, vcs int, net *Network, seed int64) *NI {
-	return &NI{
+// initNI wires one NI in place. lvb is the caller-provided localVCBusy
+// backing (a slice of a network-wide arena when called from New).
+func initNI(ni *NI, id int, net *Network, seed int64, lvb []bool) {
+	*ni = NI{
 		id:          id,
 		net:         net,
-		localVCBusy: make([]bool, vcs),
+		localVCBusy: lvb,
 		replay:      make(map[uint64]*flit.Packet),
 		reasm:       make(map[uint64][]*flit.Flit),
 		rng:         rand.New(rand.NewSource(seed)),
@@ -81,14 +86,14 @@ func (ni *NI) enqueueCtrl(p *flit.Packet) {
 // full input buffer) keeps the NI active so it retries every cycle,
 // exactly as the dense scan would.
 func (ni *NI) quiet() bool {
-	return ni.curData == nil && ni.curCtrl == nil &&
+	return ni.curData.pkt == nil && ni.curCtrl.pkt == nil &&
 		len(ni.dataQueue) == 0 && len(ni.ctrlQueue) == 0
 }
 
 // QueueDepth returns pending data packets not yet fully injected.
 func (ni *NI) QueueDepth() int {
 	n := len(ni.dataQueue)
-	if ni.curData != nil {
+	if ni.curData.pkt != nil {
 		n++
 	}
 	return n
@@ -104,9 +109,22 @@ func (ni *NI) inject(cycle int64) {
 	ni.injectClass(cycle, &ni.curData, &ni.dataQueue, false)
 }
 
+// abortTx abandons the in-progress injection of pkt in either class,
+// releasing its local VC. No-op when pkt is not mid-stream here.
+func (ni *NI) abortTx(pkt *flit.Packet) {
+	if ni.curData.pkt == pkt {
+		ni.releaseLocalVC(ni.curData.vc)
+		ni.curData = txState{}
+	}
+	if ni.curCtrl.pkt == pkt {
+		ni.releaseLocalVC(ni.curCtrl.vc)
+		ni.curCtrl = txState{}
+	}
+}
+
 // injectClass advances one traffic class; reports whether a flit was sent.
-func (ni *NI) injectClass(cycle int64, cur **txState, queue *[]*flit.Packet, control bool) bool {
-	if *cur == nil {
+func (ni *NI) injectClass(cycle int64, cur *txState, queue *[]*flit.Packet, control bool) bool {
+	if cur.pkt == nil {
 		if len(*queue) == 0 {
 			return false
 		}
@@ -123,21 +141,20 @@ func (ni *NI) injectClass(cycle int64, cur **txState, queue *[]*flit.Packet, con
 		q[m] = nil
 		*queue = q[:m]
 		ni.localVCBusy[vc] = true
-		*cur = &txState{pkt: pkt, vc: vc}
+		*cur = txState{pkt: pkt, vc: vc}
 		if pkt.FirstInjectedAt < 0 {
 			pkt.FirstInjectedAt = cycle
 		}
 		pkt.InjectedAt = cycle
 		pkt.Path = pkt.Path[:0] // fresh attempt, fresh route record
 	}
-	st := *cur
 	router := ni.net.routers[ni.id]
-	vcBuf := router.inputs[topology.Local][st.vc]
+	vcBuf := router.inputs[topology.Local][cur.vc]
 	if vcBuf.full() {
 		return false
 	}
-	f := ni.makeFlit(st.pkt, st.next)
-	f.VC = st.vc
+	f := ni.makeFlit(cur.pkt, cur.next)
+	f.VC = cur.vc
 	f.HopStart = cycle // first-hop clock for the qroute learning signal
 	vcBuf.push(f, cycle+pipelineFill)
 	if ni.net.inParallel {
@@ -147,9 +164,9 @@ func (ni *NI) injectClass(cycle int64, cur **txState, queue *[]*flit.Packet, con
 	}
 	ni.net.meter.BufferWrite(ni.id)
 	ni.net.meter.CRCCheck(ni.id) // source CRC encode
-	st.next++
-	if st.next >= st.pkt.NumFlits() {
-		*cur = nil
+	cur.next++
+	if cur.next >= cur.pkt.NumFlits() {
+		*cur = txState{}
 		// The local VC frees once the packet drains; mark it for the
 		// router to release (tracked by the network when the tail wins
 		// switch allocation and the buffer empties).
@@ -172,10 +189,17 @@ func (ni *NI) freeLocalVC(lo, hi int) int {
 func (ni *NI) releaseLocalVC(vc int) { ni.localVCBusy[vc] = false }
 
 // makeFlit materializes flit seq of a packet from its pristine payload,
-// drawing the struct from the network's flit pool.
+// drawing the struct from the network's flit pool. The packet's identity
+// is stamped onto the flit by value so straggler copies (ARQ ghosts,
+// Mode 2 duplicates, kill-sweep casualties) can be screened and dropped
+// without touching the packet, which may have settled and recycled.
 func (ni *NI) makeFlit(p *flit.Packet, seq int) *flit.Flit {
 	f := ni.pool.Get()
 	f.Packet = p
+	f.PacketID = p.ID
+	f.Kind = p.Kind
+	f.Src = int32(p.Src)
+	f.Dst = int32(p.Dst)
 	f.Seq = seq
 	f.Type = p.TypeOf(seq)
 	f.Attempt = int32(p.Retransmissions)
@@ -188,7 +212,7 @@ func (ni *NI) makeFlit(p *flit.Packet, seq int) *flit.Flit {
 // recycled — the ejection side of the allocation-free cycle loop.
 func (ni *NI) receive(f *flit.Flit, cycle int64) {
 	ni.net.meter.CRCCheck(ni.id)
-	id := f.Packet.ID
+	id := f.PacketID
 	buf, live := ni.reasm[id]
 	if !live {
 		if n := len(ni.reasmFree); n > 0 {
@@ -234,6 +258,9 @@ func (ni *NI) receive(f *flit.Flit, cycle int64) {
 		ni.net.ctrlInFlight--
 		delete(ni.net.ctrlLive, pkt.ID)
 		ni.net.nis[pkt.Dst].handleE2ENack(pkt.RefID, cycle)
+		// The control packet has done its job; recycle it. Straggler wire
+		// copies carry its identity by value and are screen-dropped.
+		ni.net.pktPool.Put(pkt)
 	case ok:
 		ni.net.deliverData(pkt, cycle)
 	default:

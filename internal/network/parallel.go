@@ -201,12 +201,21 @@ func (n *Network) applyStatDelta(sh *shardState) {
 	}
 }
 
+// minShardRouters is the coarsening floor applied to auto-derived
+// worker counts (RLNOC_STEP_WORKERS): each shard gets at least this
+// many routers, so per-phase dispatch overhead amortizes over real
+// work. An explicit Config.StepWorkers (or SetStepWorkers) is honored
+// exactly — equivalence tests pin shard layouts that way.
+const minShardRouters = 16
+
 // resolveStepWorkers turns the configured worker count into the
 // effective one: explicit config wins, then the RLNOC_STEP_WORKERS
 // environment variable, then the sequential default of 1; the result is
-// clamped to [1, nodes].
+// clamped to [1, nodes], and environment-derived counts are additionally
+// coarsened to at least minShardRouters routers per shard.
 func resolveStepWorkers(cfg, nodes int) int {
 	w := cfg
+	explicit := w > 0
 	if w == 0 {
 		if s := os.Getenv("RLNOC_STEP_WORKERS"); s != "" {
 			if v, err := strconv.Atoi(s); err == nil && v > 0 {
@@ -220,7 +229,21 @@ func resolveStepWorkers(cfg, nodes int) int {
 	if w > nodes {
 		w = nodes
 	}
+	if !explicit {
+		if maxShards := (nodes + minShardRouters - 1) / minShardRouters; w > maxShards {
+			w = maxShards
+		}
+	}
 	return w
+}
+
+// shardRange returns the contiguous router-ID range [lo, hi) owned by
+// worker w of workers over nodes routers. The ranges for w = 0..workers-1
+// partition [0, nodes) in ascending order; when workers > nodes some
+// ranges are empty. Every router — and therefore every (router, port)
+// pair — is owned by exactly one shard (TestShardRangePartition).
+func shardRange(w, workers, nodes int) (lo, hi int) {
+	return w * nodes / workers, (w + 1) * nodes / workers
 }
 
 // buildShards partitions router IDs into workers contiguous ranges and
@@ -231,8 +254,7 @@ func (n *Network) buildShards() {
 	n.shards = make([]shardState, n.workers)
 	for w := range n.shards {
 		sh := &n.shards[w]
-		sh.lo = w * nodes / n.workers
-		sh.hi = (w + 1) * nodes / n.workers
+		sh.lo, sh.hi = shardRange(w, n.workers, nodes)
 		sh.wireMarks = make([]uint64, words)
 		sh.pipeMarks = make([]uint64, words)
 		for id := sh.lo; id < sh.hi; id++ {
@@ -269,12 +291,18 @@ func (n *Network) poolTotals() (gets, news, puts int64, size int) {
 	return
 }
 
-// Phase identifiers dispatched to workers.
+// Phase identifiers dispatched to workers. phaseLocal fuses the old
+// inject/route/switch trio into one dispatch round: all three stages
+// read and write only shard-owned state (injection fills the shard's
+// own Local VCs; RC/VA/SA walk the shard's own routers with every
+// cross-shard effect staged), and within the shard the stages still run
+// to completion in order, so no router's RC can observe another
+// router's SA output any differently than the sequential walk — RC and
+// VA read only their own router's buffers, ports and credit counters.
 const (
 	phaseWires = iota
-	phaseInject
-	phaseRoute
-	phaseSwitch
+	phaseCommitWires
+	phaseLocal
 )
 
 // workerHub owns the persistent worker goroutines. fn is set around each
@@ -359,7 +387,15 @@ func (n *Network) runShardPhase(w, phase int) {
 				sh.wireDrops = append(sh.wireDrops, id)
 			}
 		})
-	case phaseInject:
+	case phaseCommitWires:
+		n.commitWiresShard(sh)
+	case phaseLocal:
+		// Injection first, then RC/VA over every router with pipeline
+		// work, then SA/ST — the sequential phase order, confined to the
+		// shard. Injection stages its pipe marks on the shard (always the
+		// NI's own router), so the RC/VA and SA walks iterate the shared
+		// set overlaid with those marks to see this cycle's injections,
+		// exactly as the sequential path's live marking does.
 		n.niActive.forEachIn(sh.lo, sh.hi, func(id int) {
 			ni := n.nis[id]
 			ni.inject(n.cycle)
@@ -367,12 +403,10 @@ func (n *Network) runShardPhase(w, phase int) {
 				sh.niDrops = append(sh.niDrops, id)
 			}
 		})
-	case phaseRoute:
-		n.pipeActive.forEachIn(sh.lo, sh.hi, func(id int) {
+		n.pipeActive.forEachInWith(sh.lo, sh.hi, sh.pipeMarks, func(id int) {
 			n.routeAndAllocate(n.routers[id])
 		})
-	case phaseSwitch:
-		n.pipeActive.forEachIn(sh.lo, sh.hi, func(id int) {
+		n.pipeActive.forEachInWith(sh.lo, sh.hi, sh.pipeMarks, func(id int) {
 			r := n.routers[id]
 			n.switchAllocate(r, sh)
 			if r.pipeQuiet() {
@@ -382,8 +416,10 @@ func (n *Network) runShardPhase(w, phase int) {
 	}
 }
 
-// stepParallel runs one cycle's four phases sharded across the worker
-// pool, committing staged cross-shard effects between phases.
+// stepParallel runs one cycle sharded across the worker pool: the wire
+// phase, its commit, then the fused local phase (inject + RC/VA +
+// SA/ST) and its commit — two dispatch rounds per cycle instead of the
+// original four (three when the wire commit itself goes parallel).
 func (n *Network) stepParallel() {
 	n.ensureHub()
 	n.inParallel = true
@@ -392,33 +428,67 @@ func (n *Network) stepParallel() {
 	n.runPhase(phaseWires)
 	n.commitWires()
 
-	// Phase 2: NI injection (may consume control packets enqueued by the
-	// phase-1 commit's ejections, same as the sequential order).
-	n.runPhase(phaseInject)
-	n.commitInject()
-
-	// Phases 3+4: RC/VA then SA/ST. No commit between them — phase 3
-	// touches only per-router state — but the barrier stays: sequential
-	// stepping finishes RC/VA on every router before any SA runs.
-	n.runPhase(phaseRoute)
-	n.runPhase(phaseSwitch)
-	n.commitSwitch()
+	// Phase 2: injection, route computation / VC allocation, switch
+	// allocation / traversal, fused per shard (injection may consume
+	// control packets enqueued by the wire commit's ejections, same as
+	// the sequential order).
+	n.runPhase(phaseLocal)
+	n.commitLocal()
 
 	n.inParallel = false
 }
 
+// commitWiresParallelMin is the network-wide staged-op count below
+// which the wire commit applies everything inline on the main
+// goroutine: a dispatch round costs more than a short serial replay.
+// The threshold affects scheduling only, never results — the
+// partitioned apply is bit-identical to the serial one.
+const commitWiresParallelMin = 64
+
 // commitWires applies phase 1's staged effects: every arrival's
-// downstream half in ascending (router, port) order — shard
-// concatenation order is exactly that — then counter deltas, pipeline
-// marks and activity drops.
+// downstream half in ascending (shard, index) order — which is the
+// ascending (router, port) order of the sequential walk — then counter
+// deltas, pipeline marks and activity drops.
+//
+// When enough ops are staged, the non-conflicting bulk commits
+// concurrently: each worker applies the ops landing on routers it owns
+// (meter charges, per-router stat windows, buffer pushes — all state
+// indexed by the owned router), scanning all shards' op lists in the
+// same global order as the serial replay so per-router effect order is
+// preserved. Only ejections stay on the ordered main-goroutine pass:
+// NI receive moves global latency accumulators, recycles packets and
+// may build control packets (advancing the shared packet sequence) —
+// order-sensitive work. Reordering the ejections after the accepts is
+// invisible: the two classes touch disjoint state, and each class
+// retains its global order. Runs with condemned attempts (the poison
+// screen reads cross-shard fault state) or learned routing (TD updates
+// write upstream routers' agents) keep the fully serial replay.
 func (n *Network) commitWires() {
+	total := 0
 	for w := range n.shards {
-		sh := &n.shards[w]
-		for i := range sh.ops {
-			n.applyWireOp(sh.ops[i])
-			sh.ops[i] = wireOp{} // drop the flit reference
+		total += len(n.shards[w].ops)
+	}
+	if total >= commitWiresParallelMin && n.condemned == nil && n.qr == nil {
+		n.runPhase(phaseCommitWires)
+		for w := range n.shards {
+			sh := &n.shards[w]
+			for i := range sh.ops {
+				if sh.ops[i].flags&opEject != 0 {
+					n.applyWireOp(sh.ops[i])
+				}
+				sh.ops[i] = wireOp{} // drop the flit reference
+			}
+			sh.ops = sh.ops[:0]
 		}
-		sh.ops = sh.ops[:0]
+	} else {
+		for w := range n.shards {
+			sh := &n.shards[w]
+			for i := range sh.ops {
+				n.applyWireOp(sh.ops[i])
+				sh.ops[i] = wireOp{}
+			}
+			sh.ops = sh.ops[:0]
+		}
 	}
 	for w := range n.shards {
 		sh := &n.shards[w]
@@ -435,23 +505,34 @@ func (n *Network) commitWires() {
 	}
 }
 
-// commitInject merges phase 2's pipeline marks and NI drops.
-func (n *Network) commitInject() {
+// commitWiresShard applies, for one shard, every staged wire-op landing
+// on a router the shard owns — except ejections, which the main
+// goroutine replays afterwards in global order. All shards' op lists
+// are scanned in the same (shard, index) order as the serial replay, so
+// the per-router effect order is identical; ops for other shards'
+// routers are skipped (their owners apply them concurrently).
+func (n *Network) commitWiresShard(sh *shardState) {
 	for w := range n.shards {
-		sh := &n.shards[w]
-		n.pipeActive.merge(sh.pipeMarks)
-		for _, id := range sh.niDrops {
-			n.niActive.remove(id)
+		src := &n.shards[w]
+		for i := range src.ops {
+			op := &src.ops[i]
+			if down := int(op.down); down < sh.lo || down >= sh.hi || op.flags&opEject != 0 {
+				continue
+			}
+			n.applyWireOpOwned(op, sh)
 		}
-		sh.niDrops = sh.niDrops[:0]
 	}
 }
 
-// commitSwitch applies phase 4's staged effects: credit returns to
-// upstream ports (at most one per port per cycle, so order across
-// shards cannot matter; replayed in shard order anyway), wire-activity
-// marks, counter deltas, progress and pipeline drops.
-func (n *Network) commitSwitch() {
+// commitLocal applies the fused local phase's staged effects in shard
+// order: credit returns to upstream ports (at most one per port per
+// cycle, so order across shards cannot matter; replayed in shard order
+// anyway for a canonical credRet layout), wire and pipeline activity
+// marks, counter deltas, progress, and NI/pipeline activity drops. The
+// pipe marks merge before the pipe drops; they can never name the same
+// router, because an injection mark implies an occupied VC and an
+// occupied router is never dropped as quiet.
+func (n *Network) commitLocal() {
 	for w := range n.shards {
 		sh := &n.shards[w]
 		for _, c := range sh.credits {
@@ -464,11 +545,16 @@ func (n *Network) commitSwitch() {
 		}
 		sh.credits = sh.credits[:0]
 		n.wireActive.merge(sh.wireMarks)
+		n.pipeActive.merge(sh.pipeMarks)
 		n.applyStatDelta(sh)
 		if sh.progress {
 			n.lastProgress = n.cycle
 			sh.progress = false
 		}
+		for _, id := range sh.niDrops {
+			n.niActive.remove(id)
+		}
+		sh.niDrops = sh.niDrops[:0]
 		for _, id := range sh.pipeDrops {
 			n.pipeActive.remove(id)
 		}

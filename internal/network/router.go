@@ -258,16 +258,37 @@ type Router struct {
 	pool *flit.Pool
 }
 
+// newRouter builds a self-contained router with its own backing slabs
+// (tests and standalone use). New allocates network-wide arenas instead
+// and calls initRouter directly, so a shard's routers sit contiguously.
 func newRouter(id int, vcs, vcDepth int) *Router {
-	r := &Router{id: id}
+	r := &Router{}
+	ports := int(topology.NumPorts)
+	initRouter(r, id, vcs, vcDepth, make([]inputVC, ports*vcs),
+		make([]*inputVC, ports*vcs), make([]bufFlit, ports*vcs*vcDepth))
+	return r
+}
+
+// initRouter wires one router over caller-provided backing slabs
+// (DESIGN.md §14): vcSlab holds its NumPorts x vcs inputVC structs,
+// ptrSlab the per-port pointer views onto them, bufSlab the flit-buffer
+// storage (vcDepth entries per VC). The buffer slices are three-index
+// (cap pinned to the slot) and cannot bleed into a neighbor's slot:
+// every push site checks full() first, so append never grows past cap.
+func initRouter(r *Router, id, vcs, vcDepth int, vcSlab []inputVC, ptrSlab []*inputVC, bufSlab []bufFlit) {
+	r.id = id
 	for port := topology.Direction(0); port < topology.NumPorts; port++ {
-		r.inputs[port] = make([]*inputVC, vcs)
+		po := int(port) * vcs
+		r.inputs[port] = ptrSlab[po : po+vcs : po+vcs]
 		for v := 0; v < vcs; v++ {
-			r.inputs[port][v] = &inputVC{buf: make([]bufFlit, 0, vcDepth), cap: vcDepth,
-				owner: r, slot: int(port)*vcs + v, outVC: -1}
+			slot := po + v
+			vc := &vcSlab[slot]
+			bo := slot * vcDepth
+			*vc = inputVC{buf: bufSlab[bo : bo : bo+vcDepth], cap: vcDepth,
+				owner: r, slot: slot, outVC: -1}
+			r.inputs[port][v] = vc
 		}
 	}
-	return r
 }
 
 // wiresQuiet reports that no port of the router has wire-phase work: no

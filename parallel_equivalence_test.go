@@ -86,6 +86,57 @@ func TestParallelStepMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelStepMatchesSequentialLoaded is the loaded large-fabric
+// sibling of the test above: a 16x16 mesh at 2.5x the injection rate
+// stages hundreds of wire ops per cycle, well past the
+// commitWiresParallelMin threshold, so the concurrent wire-commit pass
+// (workers applying owned-router ops in place, ejections replayed in
+// global order on the main goroutine) and the fused local phase are
+// exercised for real. The 4x4 cases above never cross the threshold
+// and only validate the serial replay path.
+func TestParallelStepMatchesSequentialLoaded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-fabric equivalence run")
+	}
+	run := func(workers int) string {
+		cfg := fastConfig()
+		cfg.Width, cfg.Height = 16, 16
+		cfg.Seed = 9090
+		cfg.StepWorkers = workers
+		// ARQ needs no pretraining; spend the budget on a dense
+		// measured phase instead.
+		cfg.PretrainCycles = 0
+		cfg.WarmupCycles = 100
+		cfg.MaxCycles = 600
+		cfg.DrainCycles = 5_000
+		sim, err := core.NewSim(cfg, core.SchemeARQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		if err := sim.Pretrain(); err != nil {
+			t.Fatal(err)
+		}
+		events, err := traffic.Synthetic(sim.Network().Topology(), traffic.Uniform, 0.05,
+			cfg.FlitsPerPacket, int64(cfg.MaxCycles), cfg.Seed+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Measure(events, "uniform")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serialize(t, res)
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		if got := run(workers); got != ref {
+			t.Errorf("loaded 16x16: %d-worker stepping diverged from sequential:\n  seq: %s\n  par: %s",
+				workers, ref, got)
+		}
+	}
+}
+
 // TestSetSequentialForcesReferencePath pins the SetSequential escape
 // hatch: a network configured for parallel stepping but forced
 // sequential must match a workers=1 network exactly (it is the same
