@@ -22,6 +22,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,6 +31,7 @@ import (
 
 	"rlnoc/internal/core"
 	"rlnoc/internal/network"
+	"rlnoc/internal/snap"
 	"rlnoc/internal/traffic"
 
 	"rlnoc"
@@ -97,6 +99,7 @@ type benchScenario struct {
 	topology    string       // fabric override; empty keeps the config's fabric
 	size        int          // square fabric side override; 0 keeps the config's
 	stepWorkers int          // per-Step shard workers; 0 keeps the config's
+	snapEvery   int64        // serialize a full checkpoint every N cycles; 0 = never
 
 	// cycleFrac scales the measured-cycle budget (0 means 1.0): the
 	// 32x32 and 64x64 sweeps run 4-16x more router-cycles per simulated
@@ -133,6 +136,13 @@ func benchScenarios() []benchScenario {
 		benchScenario{name: "mode2-loaded", rate: benchLoadedRate, static: true,
 			mode: network.Mode2, allocCeiling: benchAllocCeiling},
 		benchScenario{name: "torus-rl", rate: benchRate, scheme: core.SchemeRL, topology: "torus"},
+		// The checkpoint serializer amortized over the cycle loop: a full
+		// Sim snapshot (intern tables, every router/NI/ARQ container, the
+		// Q-tables) every 1000 cycles, written to a discard sink so the
+		// scenario measures serialization, not disk. Gated by the alloc
+		// budget so the walk stays allocation-light as state grows.
+		benchScenario{name: "snapshot", rate: benchRate, scheme: core.SchemeRL,
+			snapEvery: 1_000, allocCeiling: benchAllocCeiling},
 	)
 	// Parallel-stepping sweeps: the same loaded Mode-2 workload on 16x16,
 	// 32x32 and 64x64 fabrics at several step-worker counts. Results are
@@ -226,6 +236,7 @@ func names(scs []benchScenario) []string {
 // profile starts, then the measured phases run back to back.
 type benchRun struct {
 	sc     benchScenario
+	sim    *core.Sim
 	net    *network.Network
 	events []traffic.Event
 	idx    int
@@ -278,7 +289,7 @@ func prepareBench(cfg rlnoc.Config, sc benchScenario, cycles int64) (*benchRun, 
 	if err != nil {
 		return nil, err
 	}
-	r := &benchRun{sc: sc, net: net, events: events, cycles: cycles, warmup: warmup}
+	r := &benchRun{sc: sc, sim: sim, net: net, events: events, cycles: cycles, warmup: warmup}
 	if err := r.step(warmup); err != nil {
 		return nil, err
 	}
@@ -296,6 +307,15 @@ func (r *benchRun) step(until int64) error {
 		}
 		if err := r.net.Step(); err != nil {
 			return err
+		}
+		if r.sc.snapEvery > 0 && r.net.Cycle()%r.sc.snapEvery == 0 {
+			w := snap.NewWriter(io.Discard)
+			if err := r.sim.SnapState(w); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"rlnoc"
 	"rlnoc/internal/fault"
@@ -32,7 +33,12 @@ const chaosTraceCycles = 4000
 // fails the campaign. Schedules are derived from (seed, run) through
 // detrand, so a failing run replays exactly with -seed and the printed
 // schedule.
-func runChaos(base rlnoc.Config, runs int) error {
+// When snapEvery > 0, every arm checkpoints its state into snapDir; a
+// watchdog termination is then replayed from the latest checkpoint with
+// flit-level event capture (the invariant-bisection flow), so the
+// failing window is preserved for offline analysis instead of being
+// buried N cycles deep in a non-reproducing log.
+func runChaos(base rlnoc.Config, runs int, snapDir string, snapEvery int64) error {
 	topos := []string{"mesh", "torus"}
 	arms := []rlnoc.Scheme{rlnoc.RL, rlnoc.QRoute}
 	counts := map[string]int{}
@@ -59,7 +65,11 @@ func runChaos(base rlnoc.Config, runs int) error {
 
 		fmt.Printf("chaos run %2d  %-5s kills=%d [%s]\n", i, cfg.Topology, kills, cfg.HardFaults)
 		for _, scheme := range arms {
-			outcome, detail, err := chaosRun(cfg, scheme, int64(i))
+			dir := ""
+			if snapEvery > 0 {
+				dir = filepath.Join(snapDir, fmt.Sprintf("chaos-%d-%s", i, scheme))
+			}
+			outcome, detail, err := chaosRun(cfg, scheme, int64(i), dir, snapEvery)
 			if err != nil {
 				return err
 			}
@@ -89,7 +99,7 @@ func runChaos(base rlnoc.Config, runs int) error {
 // policy quality — so the network cycle counter starts at zero and the
 // schedule's absolute cycles land inside the measured window by
 // construction.
-func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64) (outcome, detail string, err error) {
+func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64, snapDir string, snapEvery int64) (outcome, detail string, err error) {
 	events, err := rlnoc.SyntheticTrace(cfg, "uniform", 0.01, chaosTraceCycles, cfg.Seed+run*1000)
 	if err != nil {
 		return "", "", err
@@ -101,6 +111,9 @@ func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64) (outcome, detail
 	net := sess.Network()
 	defer net.Close()
 
+	if snapEvery > 0 && snapDir != "" {
+		sess.SetSnapshotPolicy(snapDir, snapEvery)
+	}
 	res, merr := sess.Measure(events, fmt.Sprintf("chaos-%d", run))
 	led := net.ConservationLedger()
 	detail = fmt.Sprintf("dead=%d unreachable=%d lat=%.1f drops[%s] recover[%s] %s",
@@ -117,6 +130,7 @@ func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64) (outcome, detail
 		return "budget", detail, nil
 	case errors.As(merr, &iv) && led.Balanced():
 		fmt.Fprint(os.Stderr, iv.Report())
+		bisectChaos(sess)
 		return "watchdog", detail, nil
 	case merr != nil && !errors.As(merr, &iv):
 		return "", "", merr
@@ -125,6 +139,29 @@ func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64) (outcome, detail
 			fmt.Fprintln(os.Stderr, merr)
 		}
 		return "wedged", detail, nil
+	}
+}
+
+// bisectChaos replays a watchdog failure from the arm's latest
+// checkpoint (if one was written) with event capture; the resulting
+// .replay.elog feeds `nocsim -analyze`.
+func bisectChaos(sess *rlnoc.Session) {
+	last := sess.LastSnapshotPath()
+	if last == "" {
+		return
+	}
+	elogPath := last + ".replay.elog"
+	ef, err := os.Create(elogPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bisect:", err)
+		return
+	}
+	_, rerr := rlnoc.ReplayFromSnapshot(last, ef)
+	ef.Close()
+	if rerr != nil {
+		fmt.Fprintf(os.Stderr, "replayed from %s: failure reproduced (%v); events in %s\n", last, rerr, elogPath)
+	} else {
+		fmt.Fprintf(os.Stderr, "replayed from %s: completed clean\n", last)
 	}
 }
 

@@ -12,13 +12,37 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"rlnoc/internal/config"
+
 	"rlnoc"
 )
+
+// runRestore resumes a checkpoint (written by a -chaos campaign with
+// -snapshot-every, or by nocsim) and prints the finished result.
+func runRestore(path string) error {
+	sess, err := rlnoc.RestoreSession(path)
+	if err != nil {
+		return err
+	}
+	defer sess.Network().Close()
+	res, err := sess.ResumeMeasure()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", data)
+	fmt.Printf("ledger %s\n", sess.Network().ConservationLedger())
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -54,8 +78,15 @@ func run() error {
 		stepW     = flag.Int("step-workers", 0, "per-Step shard workers, deterministic (0 = config/env, 1 = sequential)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the measured bench loops to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile after the measured bench loops to this file")
+		snapEvery = flag.Int64("snapshot-every", 0, "checkpoint every N cycles during -chaos campaigns (0 = off)")
+		snapDir   = flag.String("snapshot-dir", "", "checkpoint directory (default: RLNOC_SNAPSHOT_DIR env, else 'snapshots')")
+		restore   = flag.String("restore", "", "resume a checkpoint file to completion and print its result")
 	)
 	flag.Parse()
+
+	if *restore != "" {
+		return runRestore(*restore)
+	}
 
 	cfg := rlnoc.DefaultConfig()
 	if *small {
@@ -115,7 +146,8 @@ func run() error {
 		did = true
 	}
 	if *chaos > 0 {
-		if err := runChaos(cfg, *chaos); err != nil {
+		dir, _ := config.ResolveString(config.EnvSnapshotDir, *snapDir, "snapshots")
+		if err := runChaos(cfg, *chaos, dir, *snapEvery); err != nil {
 			return err
 		}
 		did = true

@@ -56,8 +56,15 @@ func run() error {
 		analyze    = flag.String("analyze", "", "analyze a recorded event log and exit")
 		qAlpha     = flag.Float64("qroute-alpha", 0, "override the qroute learning rate (0 = keep config)")
 		qEpsilon   = flag.Float64("qroute-epsilon", -1, "override the qroute exploration epsilon (-1 = keep config)")
+		snapEvery  = flag.Int64("snapshot-every", 0, "write a checkpoint every N cycles of the measured phase (0 = off)")
+		snapDir    = flag.String("snapshot-dir", "", "checkpoint directory (default: RLNOC_SNAPSHOT_DIR env, else 'snapshots')")
+		restore    = flag.String("restore", "", "resume from a checkpoint file and finish the run (ignores workload flags)")
 	)
 	flag.Parse()
+
+	if *restore != "" {
+		return runRestore(*restore, *stepW, *verbose)
+	}
 
 	if *analyze != "" {
 		f, err := os.Open(*analyze)
@@ -205,11 +212,16 @@ func run() error {
 		sim.Network().SetEventLog(l)
 		defer l.Flush()
 	}
+	if *snapEvery > 0 {
+		dir, _ := config.ResolveString(config.EnvSnapshotDir, *snapDir, "snapshots")
+		sim.SetSnapshotPolicy(dir, *snapEvery)
+	}
 	res, err := sim.Measure(events, label)
 	if err != nil {
 		var iv *invariant.Error
 		if errors.As(err, &iv) {
 			fmt.Fprint(os.Stderr, iv.Report())
+			bisectInvariant(sim)
 		}
 		return err
 	}
@@ -245,6 +257,68 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "saved RL policy to %s\n", *savePolicy)
 	}
 	return nil
+}
+
+// runRestore resumes a checkpoint written by -snapshot-every: the file
+// carries config, scheme, trace and complete state, so only host-local
+// knobs (-step-workers — bit-identical by construction) still apply.
+func runRestore(path string, stepW int, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sim, err := core.RestoreSimTuned(f, func(cfg *config.Config) {
+		if stepW != 0 {
+			cfg.StepWorkers = stepW
+		}
+	})
+	f.Close()
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+	fmt.Fprintf(os.Stderr, "resumed %s at cycle %d\n", path, sim.Network().Cycle())
+	res, err := sim.ResumeMeasure()
+	if err != nil {
+		var iv *invariant.Error
+		if errors.As(err, &iv) {
+			fmt.Fprint(os.Stderr, iv.Report())
+		}
+		return err
+	}
+	printResult(res, verbose)
+	if net := sim.Network(); net.QRouteEnabled() {
+		fmt.Printf("qroute telemetry  %s\n", net.QRouteTelemetry().Format())
+	}
+	if sim.Network().DeadRouters() > 0 || sim.Network().UnreachablePairs() > 0 {
+		printFaultReport(sim.Network())
+	}
+	return nil
+}
+
+// bisectInvariant is the checkpoint-assisted failure workflow: when an
+// invariant fires mid-run and checkpoints were being written, replay
+// from the latest one with flit-level event capture, so the failure
+// reproduces within one checkpoint interval instead of from cycle zero.
+func bisectInvariant(sim *core.Sim) {
+	last := sim.LastSnapshotPath()
+	if last == "" {
+		return
+	}
+	elogPath := last + ".replay.elog"
+	fmt.Fprintf(os.Stderr, "replaying from %s with event capture -> %s\n", last, elogPath)
+	ef, err := os.Create(elogPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bisect:", err)
+		return
+	}
+	_, rerr := core.ReplayFromSnapshot(last, ef)
+	ef.Close()
+	if rerr != nil {
+		fmt.Fprintf(os.Stderr, "replay reproduced the failure: %v\nanalyze with: nocsim -analyze %s\n", rerr, elogPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "replay completed clean (failure did not reproduce from the checkpoint)")
+	}
 }
 
 // printFaultReport summarizes the damage after a hard-faulted run: what

@@ -1,0 +1,58 @@
+package config
+
+import "testing"
+
+// The helpers must resolve flag > env > default, report provenance, and
+// tolerate garbage in the environment.
+
+func TestResolveStringPrecedence(t *testing.T) {
+	const env = "RLNOC_TEST_STRING"
+
+	if v, src := ResolveString(env, "", "fallback"); v != "fallback" || src != SourceDefault {
+		t.Fatalf("unset env: got (%q, %v), want (fallback, default)", v, src)
+	}
+
+	t.Setenv(env, "from-env")
+	if v, src := ResolveString(env, "", "fallback"); v != "from-env" || src != SourceEnv {
+		t.Fatalf("env set: got (%q, %v), want (from-env, env)", v, src)
+	}
+	if v, src := ResolveString(env, "explicit", "fallback"); v != "explicit" || src != SourceExplicit {
+		t.Fatalf("explicit beats env: got (%q, %v), want (explicit, explicit)", v, src)
+	}
+
+	t.Setenv(env, "")
+	if v, src := ResolveString(env, "", "fallback"); v != "fallback" || src != SourceDefault {
+		t.Fatalf("empty env: got (%q, %v), want (fallback, default)", v, src)
+	}
+}
+
+func TestResolveIntPrecedence(t *testing.T) {
+	const env = "RLNOC_TEST_INT"
+
+	if v, src := ResolveInt(env, 0, 7); v != 7 || src != SourceDefault {
+		t.Fatalf("unset env: got (%d, %v), want (7, default)", v, src)
+	}
+
+	t.Setenv(env, "4")
+	if v, src := ResolveInt(env, 0, 7); v != 4 || src != SourceEnv {
+		t.Fatalf("env set: got (%d, %v), want (4, env)", v, src)
+	}
+	if v, src := ResolveInt(env, 2, 7); v != 2 || src != SourceExplicit {
+		t.Fatalf("explicit beats env: got (%d, %v), want (2, explicit)", v, src)
+	}
+
+	t.Setenv(env, "not-a-number")
+	if v, src := ResolveInt(env, 0, 7); v != 7 || src != SourceDefault {
+		t.Fatalf("garbage env: got (%d, %v), want (7, default)", v, src)
+	}
+}
+
+// The real variable names are part of the contract: flags and docs refer
+// to them, so renaming one is an API break this test makes visible.
+func TestEnvVarNames(t *testing.T) {
+	if EnvStepWorkers != "RLNOC_STEP_WORKERS" ||
+		EnvChecks != "RLNOC_CHECKS" ||
+		EnvSnapshotDir != "RLNOC_SNAPSHOT_DIR" {
+		t.Fatalf("env var names drifted: %q %q %q", EnvStepWorkers, EnvChecks, EnvSnapshotDir)
+	}
+}

@@ -86,6 +86,17 @@ type Sim struct {
 
 	observerEvery int64
 	observer      func(Snapshot)
+
+	// ms is the in-progress measurement phase, held on the Sim (rather
+	// than as Measure locals) so SnapState can serialize it and a
+	// restored process can resume the loop mid-phase (DESIGN.md §15).
+	ms *measureState
+
+	// Snapshot policy: every snapEvery measurement cycles, write a
+	// checkpoint into snapDir (0 disables; see SetSnapshotPolicy).
+	snapDir   string
+	snapEvery int64
+	lastSnap  string
 }
 
 // Snapshot is a live view of the running network, delivered to observers
@@ -279,33 +290,76 @@ func (s *Sim) runTrace(events []traffic.Event, relCap int64) error {
 	return nil
 }
 
-// Measure runs the testing phase over events and collects the Result.
-// The warm-up prefix is excluded from statistics but included in the
-// execution time, mirroring the paper's methodology.
-func (s *Sim) Measure(events []traffic.Event, label string) (Result, error) {
-	net := s.net
-	base := net.Cycle()
-	warmEnd := base + int64(s.cfg.WarmupCycles)
+// measureState is the complete bookkeeping of an in-progress
+// measurement phase. Everything a resumed process needs to re-enter the
+// loop at the exact cycle it left lives here: the phase boundaries, the
+// energy-meter baselines captured at warm-up end, and the injector
+// cursors (the events themselves are serialized so the restored side
+// needs no access to the original trace file).
+type measureState struct {
+	label  string
+	events []traffic.Event
+	in     *injector
+
+	base     int64
+	warmEnd  int64
+	capCycle int64
+
+	dynStart     float64
+	totStart     float64
+	measureStart int64
+	started      bool
+	drained      bool
+}
+
+// beginMeasure installs a fresh measurement phase over events.
+func (s *Sim) beginMeasure(events []traffic.Event, label string) {
+	base := s.net.Cycle()
 	var traceLen int64
 	if len(events) > 0 {
 		traceLen = events[len(events)-1].Cycle
 	}
-	capCycle := base + traceLen + int64(s.cfg.WarmupCycles) + int64(s.cfg.MaxCycles) + int64(s.cfg.DrainCycles)
+	s.ms = &measureState{
+		label:    label,
+		events:   events,
+		in:       newInjector(events, s.cfg.Routers(), s.cfg.SourceWindow, base),
+		base:     base,
+		warmEnd:  base + int64(s.cfg.WarmupCycles),
+		capCycle: base + traceLen + int64(s.cfg.WarmupCycles) + int64(s.cfg.MaxCycles) + int64(s.cfg.DrainCycles),
+	}
+}
 
-	var dynStart, totStart float64
-	var measureStart int64
-	started := false
+// Measure runs the testing phase over events and collects the Result.
+// The warm-up prefix is excluded from statistics but included in the
+// execution time, mirroring the paper's methodology.
+func (s *Sim) Measure(events []traffic.Event, label string) (Result, error) {
+	s.beginMeasure(events, label)
+	return s.runMeasure()
+}
 
-	in := newInjector(events, s.cfg.Routers(), s.cfg.SourceWindow, base)
-	drained := false
-	for net.Cycle() < capCycle {
+// ResumeMeasure continues a measurement phase restored by RestoreSim,
+// running it to completion from the snapshotted cycle.
+func (s *Sim) ResumeMeasure() (Result, error) {
+	if s.ms == nil {
+		return Result{}, fmt.Errorf("core: no measurement phase to resume")
+	}
+	return s.runMeasure()
+}
+
+// runMeasure drives the installed measurement phase to completion. The
+// loop body is cycle-for-cycle the behavior Measure always had; the only
+// addition is the snapshot hook, which runs between cycles and touches
+// no simulation state.
+func (s *Sim) runMeasure() (Result, error) {
+	net, ms := s.net, s.ms
+	for net.Cycle() < ms.capCycle {
 		now := net.Cycle()
-		if !started && now >= warmEnd {
+		if !ms.started && now >= ms.warmEnd {
 			net.Stats().SetMeasuring(true)
-			dynStart = net.Meter().TotalDynamicPJ()
-			totStart = net.Meter().TotalPJ()
-			measureStart = now
-			started = true
+			ms.dynStart = net.Meter().TotalDynamicPJ()
+			ms.totStart = net.Meter().TotalPJ()
+			ms.measureStart = now
+			ms.started = true
 			// Anneal exploration for the measured phase (every random
 			// mode costs real latency; see config.RLConfig.TestEpsilon).
 			if s.cfg.RL.TestEpsilon >= 0 {
@@ -320,7 +374,7 @@ func (s *Sim) Measure(events []traffic.Event, label string) (Result, error) {
 				rlc.ResetTelemetry()
 			}
 		}
-		if err := in.step(net, now); err != nil {
+		if err := ms.in.step(net, now); err != nil {
 			return Result{}, err
 		}
 		if err := net.Step(); err != nil {
@@ -329,27 +383,32 @@ func (s *Sim) Measure(events []traffic.Event, label string) (Result, error) {
 		if s.observer != nil && s.observerEvery > 0 && net.Cycle()%s.observerEvery == 0 {
 			s.observer(s.snapshot())
 		}
-		if in.done() && net.Drained() {
-			drained = true
+		if s.snapEvery > 0 && (net.Cycle()-ms.base)%s.snapEvery == 0 {
+			if err := s.writeAutoSnapshot(); err != nil {
+				return Result{}, err
+			}
+		}
+		if ms.in.done() && net.Drained() {
+			ms.drained = true
 			break
 		}
 	}
 	net.Stats().SetMeasuring(false)
-	if !started {
+	if !ms.started {
 		return Result{}, fmt.Errorf("core: warm-up longer than the run")
 	}
 
 	sum := net.Stats().Summarize()
-	dyn := net.Meter().TotalDynamicPJ() - dynStart
-	tot := net.Meter().TotalPJ() - totStart
-	measuredCycles := net.Cycle() - measureStart
+	dyn := net.Meter().TotalDynamicPJ() - ms.dynStart
+	tot := net.Meter().TotalPJ() - ms.totStart
+	measuredCycles := net.Cycle() - ms.measureStart
 	measuredNS := float64(measuredCycles) * s.cfg.CyclePeriodNS()
 
 	res := Result{
 		Scheme:                s.scheme,
-		Benchmark:             label,
-		ExecutionCycles:       net.LastDeliveryCycle() - base,
-		Drained:               drained,
+		Benchmark:             ms.label,
+		ExecutionCycles:       net.LastDeliveryCycle() - ms.base,
+		Drained:               ms.drained,
 		MeanLatency:           sum.MeanLatency,
 		RetransmittedPacketEq: net.Stats().RetransmittedPacketEquivalents(s.cfg.FlitsPerPacket),
 		DynamicPJ:             dyn,

@@ -3,7 +3,6 @@ package network
 import (
 	"fmt"
 	"math/bits"
-	"os"
 
 	"rlnoc/internal/coding"
 	"rlnoc/internal/config"
@@ -318,10 +317,7 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 		net.hardSched = sched
 		net.recov = stats.NewRecoveryLog()
 	}
-	checkSpec := cfg.Checks
-	if checkSpec == "" {
-		checkSpec = os.Getenv("RLNOC_CHECKS")
-	}
+	checkSpec, _ := config.ResolveString(config.EnvChecks, cfg.Checks, "")
 	checks, err := invariant.Parse(checkSpec)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"rlnoc/internal/coding"
 	"rlnoc/internal/eventlog"
 	"rlnoc/internal/flit"
+	"rlnoc/internal/snap"
 	"rlnoc/internal/topology"
 )
 
@@ -35,6 +36,9 @@ type NI struct {
 	reasmFree [][]*flit.Flit
 
 	rng *rand.Rand
+	// rngSrc is rng's underlying draw-counting source; checkpoint/restore
+	// replays the draw count to resume the exact payload sequence.
+	rngSrc *snap.CountingSource
 
 	// pool is the flit pool this NI draws from and frees to: the
 	// network-wide pool when stepping sequentially, the owning shard's
@@ -58,13 +62,15 @@ type txState struct {
 // initNI wires one NI in place. lvb is the caller-provided localVCBusy
 // backing (a slice of a network-wide arena when called from New).
 func initNI(ni *NI, id int, net *Network, seed int64, lvb []bool) {
+	src := snap.NewCountingSource(seed)
 	*ni = NI{
 		id:          id,
 		net:         net,
 		localVCBusy: lvb,
 		replay:      make(map[uint64]*flit.Packet),
 		reasm:       make(map[uint64][]*flit.Flit),
-		rng:         rand.New(rand.NewSource(seed)),
+		rng:         rand.New(src),
+		rngSrc:      src,
 		pool:        &net.fpool,
 	}
 }

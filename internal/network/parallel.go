@@ -26,11 +26,10 @@ package network
 
 import (
 	"fmt"
-	"os"
 	"runtime"
-	"strconv"
 	"sync"
 
+	"rlnoc/internal/config"
 	"rlnoc/internal/flit"
 	"rlnoc/internal/stats"
 	"rlnoc/internal/topology"
@@ -209,27 +208,21 @@ func (n *Network) applyStatDelta(sh *shardState) {
 const minShardRouters = 16
 
 // resolveStepWorkers turns the configured worker count into the
-// effective one: explicit config wins, then the RLNOC_STEP_WORKERS
-// environment variable, then the sequential default of 1; the result is
-// clamped to [1, nodes], and environment-derived counts are additionally
-// coarsened to at least minShardRouters routers per shard.
+// effective one through the shared config precedence (explicit config,
+// then RLNOC_STEP_WORKERS, then the sequential default of 1); the result
+// is clamped to [1, nodes], and non-explicit counts are additionally
+// coarsened to at least minShardRouters routers per shard — provenance
+// from the resolver is what distinguishes a pinned test layout from an
+// ambient environment hint.
 func resolveStepWorkers(cfg, nodes int) int {
-	w := cfg
-	explicit := w > 0
-	if w == 0 {
-		if s := os.Getenv("RLNOC_STEP_WORKERS"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				w = v
-			}
-		}
-	}
+	w, src := config.ResolveInt(config.EnvStepWorkers, cfg, 1)
 	if w < 1 {
 		w = 1
 	}
 	if w > nodes {
 		w = nodes
 	}
-	if !explicit {
+	if src != config.SourceExplicit {
 		if maxShards := (nodes + minShardRouters - 1) / minShardRouters; w > maxShards {
 			w = maxShards
 		}

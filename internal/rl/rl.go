@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"rlnoc/internal/config"
+	"rlnoc/internal/snap"
 )
 
 // Bin counts per feature, per the paper: features 1-3 and 6 have 5 bins,
@@ -133,6 +134,7 @@ type Agent struct {
 	gamma   float64
 	epsilon float64
 	rng     *rand.Rand
+	src     *snap.CountingSource
 	frozen  bool
 
 	hasPrev    bool
@@ -145,6 +147,7 @@ type Agent struct {
 // NewAgent builds an agent with Q-values initialized to zero (per the
 // paper's initialization) and a deterministic exploration stream.
 func NewAgent(cfg config.RLConfig, seed int64) *Agent {
+	src := snap.NewCountingSource(seed)
 	a := &Agent{
 		q:       make([]float64, NumStates*NumActions),
 		visits:  make([]uint32, NumStates*NumActions),
@@ -153,7 +156,8 @@ func NewAgent(cfg config.RLConfig, seed int64) *Agent {
 		decay:   cfg.AlphaDecay,
 		gamma:   cfg.Gamma,
 		epsilon: cfg.Epsilon,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(src),
+		src:     src,
 	}
 	if cfg.DoubleQ {
 		a.q2 = make([]float64, NumStates*NumActions)

@@ -1,0 +1,24 @@
+package thermal
+
+// Checkpoint/restore (DESIGN.md §15): the grid's mutable state is the
+// tile temperature vector and the convergence version counter — the
+// neighbor table and scratch buffer are structural, rebuilt by NewGrid.
+
+import "rlnoc/internal/snap"
+
+// SnapState serializes the tile temperatures and version counter.
+func (g *Grid) SnapState(w *snap.Writer) error {
+	w.Section("THRM")
+	w.F64s(g.temp)
+	w.I64(g.version)
+	return w.Err()
+}
+
+// SnapRestore overwrites the temperatures and version of a freshly
+// constructed grid over the same fabric.
+func (g *Grid) SnapRestore(r *snap.Reader) error {
+	r.Section("THRM")
+	r.F64sInto(g.temp)
+	g.version = r.I64()
+	return r.Err()
+}

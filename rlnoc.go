@@ -23,6 +23,7 @@ package rlnoc
 
 import (
 	"fmt"
+	"io"
 
 	"rlnoc/internal/config"
 	"rlnoc/internal/core"
@@ -144,6 +145,41 @@ func (s *Session) Observe(every int64, fn func(Snapshot)) { s.sim.SetObserver(ev
 // Measure runs the testing phase over events.
 func (s *Session) Measure(events []Event, label string) (Result, error) {
 	return s.sim.Measure(events, label)
+}
+
+// SetSnapshotPolicy enables periodic checkpoints during Measure: every
+// `every` cycles, the complete simulation state is written into dir
+// (DESIGN.md §15). A checkpoint restores with RestoreSession and resumes
+// bit-identically to the uninterrupted run.
+func (s *Session) SetSnapshotPolicy(dir string, every int64) {
+	s.sim.SetSnapshotPolicy(dir, every)
+}
+
+// LastSnapshotPath returns the most recent checkpoint written by the
+// snapshot policy ("" if none).
+func (s *Session) LastSnapshotPath() string { return s.sim.LastSnapshotPath() }
+
+// ResumeMeasure continues the measurement phase of a restored session.
+func (s *Session) ResumeMeasure() (Result, error) { return s.sim.ResumeMeasure() }
+
+// RestoreSession rebuilds a session from a checkpoint file. The snapshot
+// is self-contained (config, scheme, trace, learned state, full network
+// state), so nothing else is needed; call ResumeMeasure to finish the
+// interrupted run.
+func RestoreSession(path string) (*Session, error) {
+	sim, err := core.RestoreSimFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{sim: sim}, nil
+}
+
+// ReplayFromSnapshot restores the checkpoint at path, records flit-level
+// events to w (nil disables), and re-runs the phase — the
+// invariant-bisection flow: reproduce a watchdog failure from the last
+// checkpoint with full event capture instead of re-running blind.
+func ReplayFromSnapshot(path string, w io.Writer) (Result, error) {
+	return core.ReplayFromSnapshot(path, w)
 }
 
 // RunStaticMode runs a trace with every router pinned to one operation

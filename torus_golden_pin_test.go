@@ -1,0 +1,44 @@
+package rlnoc
+
+// Bit-identity pin for the 4x4 torus, complementing the mesh pin in
+// mesh_golden_pin_test.go: the wraparound fabric exercises the dateline
+// VC classes, minimal-direction tie-breaks, and qroute's escape/adaptive
+// VC split, none of which the mesh run touches. Pinning rl and qroute
+// here means a refactor of any of those paths — or of the snapshot
+// layer's Measure split (DESIGN.md section 15) — cannot silently shift
+// the torus numbers while the mesh pin stays green.
+
+import "testing"
+
+// torusGolden maps scheme -> serialized Result for the pinned run.
+var torusGolden = map[Scheme]string{
+	RL:     `{"Scheme":"rl","Benchmark":"canneal","ExecutionCycles":3011,"Drained":true,"MeanLatency":13.489247311827956,"RetransmittedPacketEq":3,"DynamicPJ":8884.160000000003,"StaticPJ":30966.15446615423,"TotalPJ":39850.31446615423,"DynamicPowerW":0.008835564395822977,"EnergyEfficiency":15056.342918186843,"FlitsDelivered":600,"MeanTempC":56.376607717286724,"MaxTempC":56.714941252993285,"ModeDecisions":[32,0,0,0],"ModeMeanReward":[0.9423858004788978,0.5315698338599006,0.6553140938191218,0],"Summary":{"PacketsInjected":185,"PacketsDelivered":186,"FlitsDelivered":600,"MeanLatency":13.489247311827956,"P50Latency":16,"P95Latency":32,"P99Latency":64,"MaxLatency":44,"SourceRetransmissions":3,"LinkRetransmissions":0,"PreRetransmissions":1,"ErrorsInjected":2,"ECCCorrections":0,"ECCDetections":0,"CRCFailures":2,"SilentCorruption":0}}`,
+	QRoute: `{"Scheme":"qroute","Benchmark":"canneal","ExecutionCycles":3011,"Drained":true,"MeanLatency":13.481081081081081,"RetransmittedPacketEq":3,"DynamicPJ":8913.880000000003,"StaticPJ":30966.154689093222,"TotalPJ":39880.03468909323,"DynamicPowerW":0.008865121829935358,"EnergyEfficiency":14944.821503954205,"FlitsDelivered":596,"MeanTempC":56.37661278336665,"MaxTempC":56.714649410108265,"ModeDecisions":[32,0,0,0],"ModeMeanReward":[0.9204545305330748,0.509362296471835,0.670351837300844,0],"Summary":{"PacketsInjected":185,"PacketsDelivered":185,"FlitsDelivered":596,"MeanLatency":13.481081081081081,"P50Latency":16,"P95Latency":32,"P99Latency":64,"MaxLatency":46,"SourceRetransmissions":3,"LinkRetransmissions":0,"PreRetransmissions":1,"ErrorsInjected":3,"ECCCorrections":0,"ECCDetections":0,"CRCFailures":3,"SilentCorruption":0}}`,
+}
+
+// torusGoldenConfig reproduces the exact run the goldens were captured
+// from: torusConfig (4x4 wraparound, shortened phases, fixed seed) with
+// 8 VCs per port so the qroute arm's escape/adaptive x dateline split
+// validates; rl runs on the identical buffering so the two pins stay
+// comparable.
+func torusGoldenConfig() Config {
+	cfg := torusConfig()
+	cfg.VCsPerPort = 8
+	return cfg
+}
+
+// TestTorusGoldenPin replays the pinned 4x4-torus run for the rl and
+// qroute schemes and requires byte-identical serialized results.
+func TestTorusGoldenPin(t *testing.T) {
+	cfg := torusGoldenConfig()
+	for _, scheme := range []Scheme{RL, QRoute} {
+		res, err := Run(cfg, scheme, "canneal")
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if got := serialize(t, res); got != torusGolden[scheme] {
+			t.Errorf("%s: result drifted from pinned torus golden:\n got: %s\nwant: %s",
+				scheme, got, torusGolden[scheme])
+		}
+	}
+}
