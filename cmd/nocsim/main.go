@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rlnoc/internal/config"
 	"rlnoc/internal/core"
@@ -59,11 +60,13 @@ func run() error {
 		snapEvery  = flag.Int64("snapshot-every", 0, "write a checkpoint every N cycles of the measured phase (0 = off)")
 		snapDir    = flag.String("snapshot-dir", "", "checkpoint directory (default: RLNOC_SNAPSHOT_DIR env, else 'snapshots')")
 		restore    = flag.String("restore", "", "resume from a checkpoint file and finish the run (ignores workload flags)")
+		fastFwd    = flag.Bool("fast-forward", true, "jump quiescent idle spans to the next event (bit-identical; false steps every cycle)")
+		progress   = flag.Duration("progress", 0, "print progress to stderr at this wall-clock interval, e.g. 5s (0 = off)")
 	)
 	flag.Parse()
 
 	if *restore != "" {
-		return runRestore(*restore, *stepW, *verbose)
+		return runRestore(*restore, *stepW, *verbose, *progress)
 	}
 
 	if *analyze != "" {
@@ -131,6 +134,7 @@ func run() error {
 			return err
 		}
 	}
+	cfg.NoFastForward = !*fastFwd
 	scheme, err := core.ParseScheme(*schemeFlag)
 	if err != nil {
 		return err
@@ -184,6 +188,9 @@ func run() error {
 	sim, err := core.NewSim(cfg, scheme)
 	if err != nil {
 		return err
+	}
+	if *progress > 0 {
+		attachProgress(sim, *progress)
 	}
 	if *loadPolicy != "" {
 		rlc, ok := sim.Controller().(*core.RLController)
@@ -262,7 +269,23 @@ func run() error {
 // runRestore resumes a checkpoint written by -snapshot-every: the file
 // carries config, scheme, trace and complete state, so only host-local
 // knobs (-step-workers — bit-identical by construction) still apply.
-func runRestore(path string, stepW int, verbose bool) error {
+// attachProgress wires a stderr progress reporter onto the simulation's
+// cycle loops. The reported cycle is the simulated-cycle counter —
+// fast-forwarded spans count like stepped ones — so the derived
+// cycles/s figure stays meaningful whichever path the loop takes.
+func attachProgress(sim *core.Sim, every time.Duration) {
+	start := time.Now()
+	lastT, lastC := start, sim.Network().Cycle()
+	sim.SetProgress(every, func(cycle int64) {
+		now := time.Now()
+		rate := float64(cycle-lastC) / now.Sub(lastT).Seconds()
+		fmt.Fprintf(os.Stderr, "progress: cycle %d (%.1fs elapsed, %.3g cycles/s)\n",
+			cycle, now.Sub(start).Seconds(), rate)
+		lastT, lastC = now, cycle
+	})
+}
+
+func runRestore(path string, stepW int, verbose bool, progress time.Duration) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -277,6 +300,9 @@ func runRestore(path string, stepW int, verbose bool) error {
 		return err
 	}
 	defer sim.Close()
+	if progress > 0 {
+		attachProgress(sim, progress)
+	}
 	fmt.Fprintf(os.Stderr, "resumed %s at cycle %d\n", path, sim.Network().Cycle())
 	res, err := sim.ResumeMeasure()
 	if err != nil {

@@ -1,0 +1,92 @@
+package rlnoc
+
+// Referee for the event-horizon fast-forward (DESIGN.md §16): the same
+// fixed-seed low-rate workload — whose measured phase is mostly
+// quiescent, so the fast path actually jumps — must finish byte-
+// identical with fast-forward on (the default) and off (the per-cycle
+// referee), across mesh and torus, the arq/rl/qroute schemes, worker
+// counts 1/2/4, and a kill schedule whose faults land once during
+// pre-training and once mid-measure. Checks stay armed so the invariant
+// census boundaries are part of the horizon being verified, and the
+// final network cycle is part of the fingerprint: a jump that overshoots
+// or undershoots by even one cycle fails here.
+
+import (
+	"fmt"
+	"testing"
+
+	"rlnoc/internal/core"
+	"rlnoc/internal/traffic"
+)
+
+// runFastForwardCase runs pretrain+measure over a sparse uniform trace
+// and fingerprints everything fast-forward could plausibly disturb.
+func runFastForwardCase(t *testing.T, scheme core.Scheme, topo string, workers int, perCycle bool) string {
+	t.Helper()
+	cfg := fastConfig()
+	cfg.Seed = 7341
+	cfg.Topology = topo
+	cfg.StepWorkers = workers
+	cfg.PretrainCycles = 2000
+	cfg.HardFaults = "1500:l5.east,9000:r10"
+	cfg.Checks = "all"
+	cfg.NoFastForward = perCycle
+	if scheme == core.SchemeQRoute && topo == "torus" {
+		cfg.VCsPerPort = 8 // escape/adaptive x dateline VC quartering
+	}
+	sim, err := core.NewSim(cfg, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	// 0.002 flits/node/cycle: sparse enough that the loop is quiescent
+	// between most injections, so fast-forward engages constantly.
+	events, err := traffic.Synthetic(sim.Network().Topology(), traffic.Uniform, 0.002,
+		cfg.FlitsPerPacket, int64(cfg.MaxCycles), cfg.Seed+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Pretrain(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Measure(events, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := sim.Network()
+	led := net.ConservationLedger()
+	if !led.Balanced() {
+		t.Fatalf("%s/%s workers=%d perCycle=%v: ledger does not balance: %s",
+			scheme, topo, workers, perCycle, led)
+	}
+	return fmt.Sprintf("cycle=%d %s dead=%d unreachable=%d drops=%d %s",
+		net.Cycle(), serialize(t, res), net.DeadRouters(), net.UnreachablePairs(),
+		net.Stats().TotalDrops(), led)
+}
+
+// TestFastForwardMatchesPerCycle is the fast-forward acceptance referee:
+// for every scheme x topology x worker-count combination, the default
+// (fast-forward) run must match the per-cycle run bit for bit.
+func TestFastForwardMatchesPerCycle(t *testing.T) {
+	cases := []struct {
+		scheme core.Scheme
+		topo   string
+	}{
+		{core.SchemeARQ, "mesh"},
+		{core.SchemeARQ, "torus"},
+		{core.SchemeRL, "mesh"},
+		{core.SchemeRL, "torus"},
+		{core.SchemeQRoute, "mesh"},
+		{core.SchemeQRoute, "torus"},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2, 4} {
+			ref := runFastForwardCase(t, tc.scheme, tc.topo, workers, true)
+			got := runFastForwardCase(t, tc.scheme, tc.topo, workers, false)
+			if got != ref {
+				t.Errorf("%s/%s workers=%d: fast-forward diverged from per-cycle stepping:\n  per-cycle: %s\n  fast-fwd:  %s",
+					tc.scheme, tc.topo, workers, ref, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package network
+
+// Unit coverage for the fast-forward primitives (DESIGN.md §16): the
+// quiescence predicate, the internal event horizon, the clamp in
+// FastForwardTo, and — the load-bearing property — that a jumped idle
+// stretch leaves the network byte-identical to stepping every cycle of
+// it, including the thermal trajectory and energy meters.
+
+import (
+	"reflect"
+	"testing"
+
+	"rlnoc/internal/traffic"
+)
+
+// settle steps n until it reports quiescent (pruning the conservative
+// active-set members New starts with), failing after a bound.
+func settle(t *testing.T, n *Network) {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		if n.Quiescent() {
+			return
+		}
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatalf("network never became quiescent (cycle %d)", n.Cycle())
+}
+
+func TestQuiescentPredicate(t *testing.T) {
+	n := newNet(t, testConfig(0), Mode0, false)
+	settle(t, n)
+
+	// Traffic in flight must clear the predicate until it drains.
+	if _, err := n.NewDataPacket(0, 15, 4, n.Cycle()); err != nil {
+		t.Fatal(err)
+	}
+	if n.Quiescent() {
+		t.Fatal("quiescent with a packet in flight")
+	}
+	for i := 0; i < 200 && !n.Drained(); i++ {
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !n.Drained() {
+		t.Fatal("packet never drained")
+	}
+	settle(t, n)
+
+	// The dense referee path never prunes its sets, so it must report
+	// non-quiescent (fast-forward disables itself there).
+	n.SetDenseScan(true)
+	if n.Quiescent() {
+		t.Fatal("dense-scan path reported quiescent")
+	}
+	n.SetDenseScan(false)
+}
+
+func TestFastForwardClampsToInternalHorizon(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.HardFaults = "1700:l5.east"
+	n := newNet(t, cfg, Mode0, false)
+	settle(t, n)
+
+	thermal := int64(cfg.Thermal.UpdatePeriod)
+	c := n.Cycle()
+	wantNext := c - c%thermal + thermal
+	if got := n.NextInternalEventCycle(); got != wantNext {
+		t.Fatalf("NextInternalEventCycle = %d, want thermal boundary %d", got, wantNext)
+	}
+
+	// A huge target clamps one cycle short of the boundary; the boundary
+	// itself is then reached through a normal Step.
+	if got := n.FastForwardTo(1 << 30); got != wantNext-1 {
+		t.Fatalf("FastForwardTo clamped to %d, want %d", got, wantNext-1)
+	}
+	if err := n.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Cycle() != wantNext {
+		t.Fatalf("cycle after boundary step = %d, want %d", n.Cycle(), wantNext)
+	}
+
+	// The pending kill at 1700 bounds later jumps: fast-forwarding far
+	// past it must stop at 1699 so Step applies the fault on 1700.
+	for n.Cycle() < 1699 {
+		before := n.Cycle()
+		n.FastForwardTo(1 << 30)
+		if n.Cycle() > 1699 {
+			t.Fatalf("jump from %d overshot pending hard fault: at %d", before, n.Cycle())
+		}
+		if n.Cycle() == 1699 {
+			break
+		}
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.FastForwardTo(1 << 30); got != 1699 {
+		t.Fatalf("expected clamp at 1699, got %d", got)
+	}
+}
+
+// TestFastForwardIdleSpanByteIdentical drives two identical networks
+// across the same idle stretch — one stepping every cycle, one jumping
+// with FastForwardTo and stepping only the event cycles — and requires
+// identical cycle counters, thermal trajectories, meter totals and a
+// subsequent packet delivery.
+func TestFastForwardIdleSpanByteIdentical(t *testing.T) {
+	const span = int64(10_000)
+	cfg := testConfig(0.0005)
+	ref := newNet(t, cfg, Mode1, true)
+	ffn := newNet(t, cfg, Mode1, true)
+
+	// Shared prefix: a little traffic so meters and thermal state are
+	// non-trivial before the idle stretch.
+	warm := []traffic.Event{{Cycle: 2, Src: 0, Dst: 15, Flits: 4}, {Cycle: 5, Src: 12, Dst: 3, Flits: 4}}
+	if !runTrace(t, ref, warm, 500) || !runTrace(t, ffn, warm, 500) {
+		t.Fatal("warm traffic did not drain")
+	}
+	for ref.Cycle() < ffn.Cycle() {
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ffn.Cycle() < ref.Cycle() {
+		if err := ffn.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	end := ref.Cycle() + span
+	for ref.Cycle() < end {
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ffn.Cycle() < end {
+		ffn.FastForwardTo(end)
+		if ffn.Cycle() < end {
+			if err := ffn.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	if ref.Cycle() != ffn.Cycle() {
+		t.Fatalf("cycle mismatch: per-cycle %d, fast-forward %d", ref.Cycle(), ffn.Cycle())
+	}
+	if !reflect.DeepEqual(ref.Thermal().Temperatures(), ffn.Thermal().Temperatures()) {
+		t.Fatal("thermal trajectories diverged across the idle span")
+	}
+	if ref.Meter().TotalPJ() != ffn.Meter().TotalPJ() || ref.Meter().TotalDynamicPJ() != ffn.Meter().TotalDynamicPJ() {
+		t.Fatalf("meter divergence: per-cycle (%v, %v) vs fast-forward (%v, %v)",
+			ref.Meter().TotalPJ(), ref.Meter().TotalDynamicPJ(), ffn.Meter().TotalPJ(), ffn.Meter().TotalDynamicPJ())
+	}
+
+	// Post-span behavior must match too: same packet, same delivery,
+	// same closing packet account.
+	tail := []traffic.Event{{Cycle: end + 1, Src: 5, Dst: 10, Flits: 4}}
+	if !runTrace(t, ref, tail, end+400) || !runTrace(t, ffn, tail, end+400) {
+		t.Fatal("post-span packet did not drain")
+	}
+	if refLed, ffLed := ref.ConservationLedger().String(), ffn.ConservationLedger().String(); refLed != ffLed {
+		t.Fatalf("ledger mismatch after the span:\n  per-cycle:    %s\n  fast-forward: %s", refLed, ffLed)
+	}
+}

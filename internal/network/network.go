@@ -61,6 +61,10 @@ type Network struct {
 	cycle   int64
 	dataVCs int
 
+	// probsDirty marks the per-port error probabilities stale since the
+	// last boundary capture; materializeErrorProbs clears it.
+	probsDirty bool
+
 	packetSeq    uint64
 	dataInFlight int
 	ctrlInFlight int
@@ -339,7 +343,8 @@ func New(cfg config.Config, controller Controller, kind ControllerKind, hasECC b
 	for id := 0; id < n; id++ {
 		net.applyMode(id, controller.Decide(id, idle))
 	}
-	net.refreshErrorProbabilities()
+	net.captureErrorInputs()
+	net.materializeErrorProbs()
 	return net, nil
 }
 
@@ -545,15 +550,23 @@ func (n *Network) applyMode(id int, m Mode) {
 	}
 	n.modes[id] = m
 	r := n.routers[id]
+	pending := false
 	for dir := topology.North; dir < topology.NumPorts; dir++ {
 		if p := r.outputs[dir]; p.hasDownstream() {
 			p.targetMode = m
 			p.trySwitchMode()
+			pending = pending || p.mode != p.targetMode
 		}
 	}
 	// A still-pending switch must be retried by the SA stage each cycle
-	// until the channel drains; marking unconditionally is harmless.
-	n.markPipe(id)
+	// until the channel drains, so such routers are marked. When every
+	// port switched (or kept its mode) the scan would be a no-op; not
+	// marking then keeps an idle fabric quiescent across control epochs,
+	// which is what lets fast-forward jump them and the lazy
+	// error-probability materialization stay deferred.
+	if pending {
+		n.markPipe(id)
+	}
 }
 
 // applyPortModes sets per-channel operation modes (PortController path).
@@ -562,6 +575,7 @@ func (n *Network) applyMode(id int, m Mode) {
 func (n *Network) applyPortModes(id int, pm [4]Mode) {
 	r := n.routers[id]
 	report := Mode0
+	pending := false
 	for dir := topology.North; dir < topology.NumPorts; dir++ {
 		p := r.outputs[dir]
 		if !p.hasDownstream() {
@@ -576,12 +590,15 @@ func (n *Network) applyPortModes(id int, pm [4]Mode) {
 		}
 		p.targetMode = m
 		p.trySwitchMode()
+		pending = pending || p.mode != p.targetMode
 		if m > report {
 			report = m
 		}
 	}
 	n.modes[id] = report
-	n.markPipe(id) // as in applyMode: pending switches need SA visits
+	if pending {
+		n.markPipe(id) // as in applyMode: pending switches need SA visits
+	}
 }
 
 // eccFraction returns the share of router id's ECC codecs currently
@@ -608,13 +625,18 @@ func (n *Network) eccFraction(id int) float64 {
 	return float64(on) / float64(total)
 }
 
-// refreshErrorProbabilities recomputes the cached per-flit error
-// probability of every link from current temperature, utilization and
-// mode.
-func (n *Network) refreshErrorProbabilities() {
+// captureErrorInputs pins, for every connected port, the inputs the
+// error-probability model would be evaluated with right now — window
+// utilization and the port's relaxation mode; temperature comes from the
+// grid, which only moves at these same boundaries — and marks the cached
+// probabilities stale. The expensive Pow/Erf kernel runs later, in
+// materializeErrorProbs, and only if something can actually consume a
+// probability: on a quiescent fabric whole windows come and go without a
+// single flit crossing a link, and those windows' probabilities were
+// never observable.
+func (n *Network) captureErrorInputs() {
 	period := float64(n.cfg.Thermal.UpdatePeriod)
-	for id, r := range n.routers {
-		temp := n.grid.Temperature(id)
+	for _, r := range n.routers {
 		for dir := topology.North; dir < topology.NumPorts; dir++ {
 			p := r.outputs[dir]
 			if !p.hasDownstream() {
@@ -624,10 +646,34 @@ func (n *Network) refreshErrorProbabilities() {
 			if util > 1 {
 				util = 1
 			}
-			// The memo table recomputes the Pow/Erf kernel only when the
-			// link's (temperature, utilization) pair actually changed —
-			// idle windows and a converged thermal grid hit the cache.
-			p.errProb = n.ftab.ErrorProbability(p.linkID, temp, util, p.mode == Mode3)
+			p.winUtil = util
+			p.winRelaxed = p.mode == Mode3
+			p.winCaptured = true
+		}
+	}
+	n.probsDirty = true
+}
+
+// materializeErrorProbs evaluates the error model for every port captured
+// since the last materialization. The grid has not stepped since the
+// capture, and utilization and the relaxation flag were pinned by it, so
+// the resulting float64s are exactly the ones an eager refresh at the
+// boundary would have produced — including for ports whose link died in
+// between (their capture flag is still set, and the model is a pure
+// function of the pinned inputs). The memo table recomputes the Pow/Erf
+// kernel only when a link's (temperature, utilization) pair actually
+// changed — idle windows and a converged thermal grid hit the cache.
+func (n *Network) materializeErrorProbs() {
+	n.probsDirty = false
+	for id, r := range n.routers {
+		temp := n.grid.Temperature(id)
+		for dir := topology.North; dir < topology.NumPorts; dir++ {
+			p := r.outputs[dir]
+			if !p.winCaptured {
+				continue
+			}
+			p.winCaptured = false
+			p.errProb = n.ftab.ErrorProbability(p.linkID, temp, p.winUtil, p.winRelaxed)
 		}
 	}
 }
@@ -644,6 +690,17 @@ func (n *Network) Step() error {
 	// state (the schedule and its effects are worker-count independent).
 	if n.hardIdx < len(n.hardSched) && n.hardSched[n.hardIdx].Cycle <= cycle {
 		n.applyHardFaults()
+	}
+
+	// 0b. Stale error probabilities materialize only when some flit could
+	// consume them this cycle: activity in any set implies possible link
+	// transmissions (injections mark the NI set before Step runs, and
+	// everything else NACK/credit-driven is already in a set), and the
+	// dense referee scans everything. Runs on the main goroutine before
+	// any phase, so workers only ever read errProb.
+	if n.probsDirty && (n.dense ||
+		!n.wireActive.empty() || !n.niActive.empty() || !n.pipeActive.empty()) {
+		n.materializeErrorProbs()
 	}
 
 	if n.dense {
@@ -1611,7 +1668,7 @@ func (n *Network) thermalStep() {
 		panic(err) // sizes are internally consistent; a failure is a bug
 	}
 	n.meter.WindowReset()
-	n.refreshErrorProbabilities()
+	n.captureErrorInputs()
 	for _, r := range n.routers {
 		for dir := topology.North; dir < topology.NumPorts; dir++ {
 			r.outputs[dir].winSent = 0
@@ -1714,7 +1771,7 @@ func (n *Network) controlEpoch() {
 	n.stats.WindowReset()
 	n.epochLatSum = 0
 	n.epochLatCount = 0
-	n.refreshErrorProbabilities()
+	n.captureErrorInputs()
 }
 
 // Discretizer exposes the feature discretizer (shared with controllers).

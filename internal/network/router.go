@@ -160,7 +160,18 @@ type outputPort struct {
 	expectSeq uint64
 
 	// Cached per-flit error probability, refreshed each thermal window.
+	// The refresh is split: a boundary *captures* the model inputs below
+	// and marks the network's probabilities stale; the Pow/Erf kernel
+	// runs lazily, only once something can consume errProb (see
+	// captureErrorInputs / materializeErrorProbs).
 	errProb float64
+
+	// winUtil and winRelaxed are the utilization and relaxation inputs
+	// pinned by the last capture; winCaptured marks the port as awaiting
+	// materialization. Never serialized: snapshots materialize first.
+	winUtil     float64
+	winRelaxed  bool
+	winCaptured bool
 
 	// linkID is the topology-global link index behind this port (-1 for
 	// Local ports, which have no physical link). It keys the per-cycle

@@ -167,6 +167,12 @@ func (n *Network) walkFlits(visit func(*flit.Flit)) {
 
 // SnapState serializes the complete mutable state of the fabric.
 func (n *Network) SnapState(w *snap.Writer) error {
+	// Lazily deferred error probabilities must be concrete before ports
+	// serialize: the capture pinned their inputs, so materializing here
+	// writes the same bytes an eager refresh would have.
+	if n.probsDirty {
+		n.materializeErrorProbs()
+	}
 	nodes := n.topo.Nodes()
 	vcs := n.cfg.VCsPerPort
 

@@ -42,6 +42,100 @@ func TestFromConfig(t *testing.T) {
 	}
 }
 
+// TestFromConfigMemoizesTables: two builds of the same configuration
+// share one route-table backing array (the memoization), while a
+// different dimension order builds its own.
+func TestFromConfigMemoizesTables(t *testing.T) {
+	cfg := config.Small()
+	a, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, mb := a.(*Mesh), b.(*Mesh)
+	if ma == mb {
+		t.Fatal("FromConfig returned the same instance, not a copy")
+	}
+	if &ma.routes[0] != &mb.routes[0] {
+		t.Error("identical configs did not share the cached route table")
+	}
+	if &ma.links[0] != &mb.links[0] {
+		t.Error("identical configs did not share the cached edge list")
+	}
+
+	yx := cfg
+	yx.Routing = config.RoutingYX
+	c, err := FromConfig(yx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c.(*Mesh).routes[0] == &ma.routes[0] {
+		t.Error("different table order shared a route table")
+	}
+}
+
+// TestFromConfigRerouteDoesNotCorruptCache: a fault campaign rerouting
+// one instance must not leak detours into the cached table later runs
+// receive (copy-on-reroute).
+func TestFromConfigRerouteDoesNotCorruptCache(t *testing.T) {
+	for _, kind := range []string{config.TopologyMesh, config.TopologyTorus} {
+		cfg := config.Small()
+		cfg.Topology = kind
+		if kind == config.TopologyTorus {
+			cfg.VCsPerPort = 8
+		}
+		a, err := FromConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, ok := a.(FaultAware)
+		if !ok {
+			t.Fatalf("%s: not FaultAware", kind)
+		}
+		before := make([]Direction, a.Nodes()*a.Nodes())
+		for src := 0; src < a.Nodes(); src++ {
+			for dst := 0; dst < a.Nodes(); dst++ {
+				before[src*a.Nodes()+dst] = a.Route(src, dst)
+			}
+		}
+		// Kill the link 5<->east-neighbor, both directions, as the
+		// network's hard-fault path does.
+		east, okE := a.Neighbor(5, East)
+		if !okE {
+			t.Fatalf("%s: node 5 has no east neighbor", kind)
+		}
+		fa.Reroute(func(id int, d Direction) bool {
+			if id == 5 && d == East {
+				return true
+			}
+			to, hasTo := a.Neighbor(id, d)
+			return hasTo && id == east && to == 5
+		})
+
+		fresh, err := FromConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed := false
+		for src := 0; src < a.Nodes(); src++ {
+			for dst := 0; dst < a.Nodes(); dst++ {
+				if fresh.Route(src, dst) != before[src*a.Nodes()+dst] {
+					t.Fatalf("%s: cached table corrupted at (%d,%d) after Reroute", kind, src, dst)
+				}
+				if a.Route(src, dst) != before[src*a.Nodes()+dst] {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			t.Fatalf("%s: Reroute around a dead link changed no route", kind)
+		}
+	}
+}
+
 // FromConfig must honor the routing order: the YX table routes Y first.
 func TestFromConfigRoutingOrder(t *testing.T) {
 	cfg := config.Default()

@@ -9,6 +9,10 @@ type Mesh struct {
 	Width, Height int
 	links         []Link
 	routes        []uint8
+	// sharedRoutes marks routes as backed by the process-level FromConfig
+	// cache: Reroute must clone before its first mutation so cached
+	// tables stay pristine for later runs (copy-on-reroute).
+	sharedRoutes bool
 }
 
 // NewMesh returns a mesh topology with X-Y dimension-ordered routing.

@@ -98,8 +98,15 @@ func rebuildRoutes(t Topology, routes []uint8, dead func(id int, d Direction) bo
 	return unreachable
 }
 
-// Reroute rebuilds the mesh route table around dead links.
+// Reroute rebuilds the mesh route table around dead links. A table
+// shared with the FromConfig cache is cloned first (copy-on-reroute),
+// so fault campaigns never corrupt the pristine cached tables other
+// runs in the process will receive.
 func (m *Mesh) Reroute(dead func(id int, d Direction) bool) int {
+	if m.sharedRoutes {
+		m.routes = append([]uint8(nil), m.routes...)
+		m.sharedRoutes = false
+	}
 	return rebuildRoutes(m, m.routes, dead)
 }
 
@@ -108,6 +115,12 @@ func (m *Mesh) Reroute(dead func(id int, d Direction) bool) int {
 // from coordinates per hop, independent of the table: any hop moving
 // away from the destination within its ring (the stretch before a wrap
 // crossing) rides class 1 and drops to class 0 at the dateline.
+// A cache-shared table is cloned before the first mutation, as for the
+// mesh.
 func (t *Torus) Reroute(dead func(id int, d Direction) bool) int {
+	if t.sharedRoutes {
+		t.routes = append([]uint8(nil), t.routes...)
+		t.sharedRoutes = false
+	}
 	return rebuildRoutes(t, t.routes, dead)
 }

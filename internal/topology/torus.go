@@ -14,6 +14,10 @@ type Torus struct {
 	Width, Height int
 	links         []Link
 	routes        []uint8
+	// sharedRoutes marks routes as backed by the process-level FromConfig
+	// cache: Reroute must clone before its first mutation so cached
+	// tables stay pristine for later runs (copy-on-reroute).
+	sharedRoutes bool
 }
 
 // NewTorus returns a torus topology with X-Y dimension-ordered routing.

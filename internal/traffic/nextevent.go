@@ -1,0 +1,19 @@
+package traffic
+
+import "sort"
+
+// NextEventCycle returns the cycle of the first event at or after the
+// given cycle, and whether one exists. Events must be sorted by Cycle —
+// the invariant every generator in this package maintains and ReadTrace
+// enforces. The cycle-loop fast-forward gate uses this to bound a jump:
+// the returned cycle is exactly the next injection the loop must be
+// awake for, so fast-forward can never overshoot a real event.
+func NextEventCycle(events []Event, after int64) (int64, bool) {
+	i := sort.Search(len(events), func(i int) bool {
+		return events[i].Cycle >= after
+	})
+	if i == len(events) {
+		return 0, false
+	}
+	return events[i].Cycle, true
+}

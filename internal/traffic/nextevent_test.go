@@ -1,0 +1,84 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlnoc/internal/topology"
+)
+
+// TestNextEventCycleNeverOvershoots is the property the fast-forward
+// gate relies on: for any generated trace and any query cycle, the
+// reported next event is exactly the first event at or after the query —
+// no event may lie in the skipped half-open interval [after, reported).
+func TestNextEventCycleNeverOvershoots(t *testing.T) {
+	m, err := topology.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces [][]Event
+	for i, p := range []Pattern{Uniform, Hotspot, Transpose, Neighbor} {
+		ev, err := Synthetic(m, p, 0.003, 4, 3000, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, ev)
+	}
+	for _, name := range []string{"canneal", "dedup"} {
+		b, err := BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := b.Trace(m, 3000, 4, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, ev)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for ti, events := range traces {
+		if len(events) == 0 {
+			t.Fatalf("trace %d empty", ti)
+		}
+		last := events[len(events)-1].Cycle
+		queries := []int64{0, 1, last, last + 1, last + 1000}
+		for _, e := range events {
+			queries = append(queries, e.Cycle-1, e.Cycle, e.Cycle+1)
+		}
+		for i := 0; i < 200; i++ {
+			queries = append(queries, rng.Int63n(last+10))
+		}
+		for _, after := range queries {
+			if after < 0 {
+				continue
+			}
+			got, ok := NextEventCycle(events, after)
+			// Linear-scan reference: the first event at or after `after`.
+			want, wantOK := int64(0), false
+			for _, e := range events {
+				if e.Cycle >= after {
+					want, wantOK = e.Cycle, true
+					break
+				}
+			}
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("trace %d after=%d: NextEventCycle = (%d, %v), want (%d, %v)",
+					ti, after, got, ok, want, wantOK)
+			}
+			if ok {
+				// The overshoot check stated directly: nothing in [after, got).
+				for _, e := range events {
+					if e.Cycle >= after && e.Cycle < got {
+						t.Fatalf("trace %d after=%d: event at %d inside skipped interval [%d, %d)",
+							ti, after, e.Cycle, after, got)
+					}
+				}
+			}
+		}
+	}
+
+	if _, ok := NextEventCycle(nil, 0); ok {
+		t.Fatal("empty trace reported a next event")
+	}
+}
