@@ -1,184 +1,101 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"rlnoc"
-	"rlnoc/internal/fault"
-	"rlnoc/internal/invariant"
-	"rlnoc/internal/stats"
-	"rlnoc/internal/topology"
+	"rlnoc/internal/campaign"
 )
-
-// chaosTraceCycles bounds the injected trace of one chaos run; kill
-// cycles are drawn from the warm-up plus this window so every scheduled
-// fault fires while traffic is in flight.
-const chaosTraceCycles = 4000
 
 // runChaos sweeps randomized hard-fault kill schedules across both
 // topologies with every invariant check armed, running each schedule
 // head-to-head: the rl scheme (whose recovery is the table reroute — a
 // BFS over the surviving fabric) against qroute (per-router learned
-// next-hop selection over the same surviving fabric). Each arm reports
-// its terminal state, mean latency, drop reasons and per-kill
-// time-to-recover, so the learned router's fault response is measured
-// against the deterministic baseline on identical kills and traffic.
+// next-hop selection over the same surviving fabric). The runs execute
+// as jobs on the campaign engine — the same code path cmd/nocserve
+// drives — so setup, classification and checkpoint recovery live in
+// internal/campaign exactly once.
 //
 // Every run must drain, hit its cycle budget, or terminate through the
 // invariant watchdog with a conservation ledger that still balances.
-// Anything else — a wedge, an unbalanced account, an unexpected error —
-// fails the campaign. Schedules are derived from (seed, run) through
-// detrand, so a failing run replays exactly with -seed and the printed
-// schedule.
-// When snapEvery > 0, every arm checkpoints its state into snapDir; a
+// Anything else — a wedge, an unbalanced account, a job whose retry
+// budget runs dry — fails the campaign. Schedules are derived from
+// (seed, run) through detrand, so a failing run replays exactly with
+// -seed and the printed schedule.
+// When snapEvery > 0, every arm checkpoints its state under snapDir; a
 // watchdog termination is then replayed from the latest checkpoint with
 // flit-level event capture (the invariant-bisection flow), so the
 // failing window is preserved for offline analysis instead of being
 // buried N cycles deep in a non-reproducing log.
 func runChaos(base rlnoc.Config, runs int, snapDir string, snapEvery int64) error {
-	topos := []string{"mesh", "torus"}
-	arms := []rlnoc.Scheme{rlnoc.RL, rlnoc.QRoute}
+	plan, err := campaign.BuildChaos(base, runs, snapEvery, campaign.InjectSpec{})
+	if err != nil {
+		return err
+	}
+	dir := ""
+	if snapEvery > 0 {
+		dir = snapDir
+	}
+	workers := base.SuiteWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	eng, err := campaign.Open(campaign.Options{
+		Dir:     dir,
+		Name:    "chaos",
+		Workers: workers,
+		Seed:    base.Seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if err := eng.Submit(plan.Specs...); err != nil {
+		return err
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		return err
+	}
+
+	byID := map[string]campaign.JobResult{}
+	for _, r := range eng.Results() {
+		byID[r.ID] = r
+	}
 	counts := map[string]int{}
-	wedged := 0
-	for i := 0; i < runs; i++ {
-		cfg := base
-		cfg.Topology = topos[i%len(topos)]
-		cfg.Checks = "all"
-		if cfg.Topology == "torus" && cfg.VCsPerPort < 8 {
-			// qroute quarters the data VCs on a wraparound fabric
-			// (escape/adaptive x dateline); provision both arms alike so
-			// the comparison stays buffer-for-buffer fair.
-			cfg.VCsPerPort = 8
-		}
-		kills := 1 + i%4
-
-		topo, err := topology.FromConfig(cfg)
-		if err != nil {
-			return err
-		}
-		maxKill := int64(cfg.WarmupCycles) + chaosTraceCycles
-		sched := fault.RandomSchedule(cfg.Seed, uint64(i), topo, kills, maxKill)
-		cfg.HardFaults = fault.FormatSchedule(sched)
-
-		fmt.Printf("chaos run %2d  %-5s kills=%d [%s]\n", i, cfg.Topology, kills, cfg.HardFaults)
-		for _, scheme := range arms {
-			dir := ""
-			if snapEvery > 0 {
-				dir = filepath.Join(snapDir, fmt.Sprintf("chaos-%d-%s", i, scheme))
+	failed := 0
+	for _, run := range plan.Runs {
+		fmt.Printf("chaos run %2d  %-5s kills=%d [%s]\n", run.Index, run.Topology, run.Kills, run.Schedule)
+		for _, scheme := range plan.Arms {
+			r, ok := byID[campaign.ChaosJobID(run.Index, scheme)]
+			if !ok {
+				return fmt.Errorf("chaos: job %s has no result", campaign.ChaosJobID(run.Index, scheme))
 			}
-			outcome, detail, err := chaosRun(cfg, scheme, int64(i), dir, snapEvery)
-			if err != nil {
-				return err
+			counts[string(scheme)+"/"+r.Outcome]++
+			if r.Outcome == campaign.OutcomeWedged || r.Outcome == campaign.OutcomeDead ||
+				r.Outcome == campaign.OutcomeDeadline {
+				failed++
 			}
-			counts[string(scheme)+"/"+outcome]++
-			if outcome == "wedged" {
-				wedged++
+			detail := r.Detail
+			if r.Err != "" {
+				detail = r.Err
 			}
-			fmt.Printf("    %-7s %-8s %s\n", scheme, outcome, detail)
+			fmt.Printf("    %-7s %-8s %s\n", scheme, r.Outcome, detail)
 		}
 	}
-	fmt.Printf("chaos: %d runs x %d arms —", runs, len(arms))
-	for _, scheme := range arms {
+	fmt.Printf("chaos: %d runs x %d arms —", runs, len(plan.Arms))
+	for _, scheme := range plan.Arms {
 		fmt.Printf("  %s: drained %d, budget %d, watchdog %d, wedged %d;",
 			scheme, counts[string(scheme)+"/drained"], counts[string(scheme)+"/budget"],
 			counts[string(scheme)+"/watchdog"], counts[string(scheme)+"/wedged"])
 	}
 	fmt.Println()
-	if wedged > 0 {
-		return fmt.Errorf("chaos: %d runs wedged", wedged)
+	if failed > 0 {
+		return fmt.Errorf("chaos: %d runs wedged or abandoned", failed)
 	}
 	return nil
-}
-
-// chaosRun executes one kill schedule under one scheme and classifies
-// its terminal state, reporting latency, drop reasons and the per-kill
-// recovery times. Pre-training is skipped — chaos probes robustness, not
-// policy quality — so the network cycle counter starts at zero and the
-// schedule's absolute cycles land inside the measured window by
-// construction.
-func chaosRun(cfg rlnoc.Config, scheme rlnoc.Scheme, run int64, snapDir string, snapEvery int64) (outcome, detail string, err error) {
-	events, err := rlnoc.SyntheticTrace(cfg, "uniform", 0.01, chaosTraceCycles, cfg.Seed+run*1000)
-	if err != nil {
-		return "", "", err
-	}
-	sess, err := rlnoc.NewSession(cfg, scheme)
-	if err != nil {
-		return "", "", err
-	}
-	net := sess.Network()
-	defer net.Close()
-
-	if snapEvery > 0 && snapDir != "" {
-		sess.SetSnapshotPolicy(snapDir, snapEvery)
-	}
-	res, merr := sess.Measure(events, fmt.Sprintf("chaos-%d", run))
-	led := net.ConservationLedger()
-	detail = fmt.Sprintf("dead=%d unreachable=%d lat=%.1f drops[%s] recover[%s] %s",
-		net.DeadRouters(), net.UnreachablePairs(), res.MeanLatency,
-		formatDrops(net.Stats().DropCounts()), net.RecoveryLog().Format(), led)
-	if net.QRouteEnabled() {
-		detail += " " + net.QRouteTelemetry().Format()
-	}
-	var iv *invariant.Error
-	switch {
-	case merr == nil && res.Drained && led.Balanced():
-		return "drained", detail, nil
-	case merr == nil && led.Balanced():
-		return "budget", detail, nil
-	case errors.As(merr, &iv) && led.Balanced():
-		fmt.Fprint(os.Stderr, iv.Report())
-		bisectChaos(sess)
-		return "watchdog", detail, nil
-	case merr != nil && !errors.As(merr, &iv):
-		return "", "", merr
-	default:
-		if merr != nil {
-			fmt.Fprintln(os.Stderr, merr)
-		}
-		return "wedged", detail, nil
-	}
-}
-
-// bisectChaos replays a watchdog failure from the arm's latest
-// checkpoint (if one was written) with event capture; the resulting
-// .replay.elog feeds `nocsim -analyze`.
-func bisectChaos(sess *rlnoc.Session) {
-	last := sess.LastSnapshotPath()
-	if last == "" {
-		return
-	}
-	elogPath := last + ".replay.elog"
-	ef, err := os.Create(elogPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bisect:", err)
-		return
-	}
-	_, rerr := rlnoc.ReplayFromSnapshot(last, ef)
-	ef.Close()
-	if rerr != nil {
-		fmt.Fprintf(os.Stderr, "replayed from %s: failure reproduced (%v); events in %s\n", last, rerr, elogPath)
-	} else {
-		fmt.Fprintf(os.Stderr, "replayed from %s: completed clean\n", last)
-	}
-}
-
-// formatDrops renders the non-zero drop-reason tallies compactly.
-func formatDrops(counts [stats.NumDropReasons]int64) string {
-	s := ""
-	for r := stats.DropReason(0); r < stats.NumDropReasons; r++ {
-		if counts[r] == 0 {
-			continue
-		}
-		if s != "" {
-			s += " "
-		}
-		s += fmt.Sprintf("%s=%d", r, counts[r])
-	}
-	if s == "" {
-		return "none"
-	}
-	return s
 }

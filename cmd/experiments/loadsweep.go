@@ -1,40 +1,72 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"rlnoc"
+	"rlnoc/internal/campaign"
 )
 
 // runLoadSweep produces the classic NoC load-latency curve: mean latency
 // versus injection rate under uniform traffic for each scheme, up to the
 // pre-saturation region. The ECC modes' extra pipeline stages and the
 // reactive baseline's retransmission storms shift both the zero-load
-// latency and the saturation point.
+// latency and the saturation point. The (rate, scheme) grid runs as a
+// job campaign on the supervised engine, so a wedged or crashed cell
+// retries instead of losing the sweep.
 func runLoadSweep(cfg rlnoc.Config) error {
 	rates := []float64{0.001, 0.002, 0.004, 0.006, 0.008, 0.010}
+	specs := campaign.BuildLoadSweep(cfg, rates, 0)
+	workers := cfg.SuiteWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	eng, err := campaign.Open(campaign.Options{
+		Name:    "loadsweep",
+		Workers: workers,
+		Seed:    cfg.Seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if err := eng.Submit(specs...); err != nil {
+		return err
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		return err
+	}
+	byID := map[string]campaign.JobResult{}
+	for _, r := range eng.Results() {
+		byID[r.ID] = r
+	}
+
 	fmt.Println("load-latency sweep: mean E2E latency (cycles) vs injection rate, uniform traffic")
 	fmt.Printf("%-12s", "pkts/node/cyc")
 	for _, sc := range rlnoc.Schemes() {
 		fmt.Printf("%12s", sc)
 	}
 	fmt.Println()
+	dead := 0
 	for _, rate := range rates {
 		fmt.Printf("%-12g", rate)
-		events, err := rlnoc.SyntheticTrace(cfg, "uniform", rate, int64(cfg.MaxCycles), cfg.Seed+11)
-		if err != nil {
-			return err
-		}
 		for _, sc := range rlnoc.Schemes() {
-			res, err := rlnoc.RunTrace(cfg, sc, events, "sweep")
-			if err != nil {
-				return err
+			r, ok := byID[campaign.SweepJobID(rate, sc)]
+			if !ok || r.Outcome == campaign.OutcomeDead || r.Outcome == campaign.OutcomeDeadline {
+				dead++
+				fmt.Printf("%11s ", "dead")
+				continue
 			}
 			mark := ""
-			if !res.Drained {
+			if !r.Result.Drained {
 				mark = "*" // saturated: did not drain within the cap
 			}
-			fmt.Printf("%11.2f%s", res.MeanLatency, mark)
+			fmt.Printf("%11.2f%s", r.Result.MeanLatency, mark)
 			if mark == "" {
 				fmt.Printf(" ")
 			}
@@ -42,5 +74,8 @@ func runLoadSweep(cfg rlnoc.Config) error {
 		fmt.Println()
 	}
 	fmt.Println("(* = saturated: trace did not drain within the cycle cap)")
+	if dead > 0 {
+		return fmt.Errorf("loadsweep: %d cells abandoned", dead)
+	}
 	return nil
 }

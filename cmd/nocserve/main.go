@@ -1,0 +1,237 @@
+// Command nocserve is the long-running campaign daemon: it runs sweep,
+// chaos, and what-if experiment campaigns as durable jobs on the
+// supervised engine in internal/campaign. Jobs survive everything the
+// daemon can throw at them — a panicking run is isolated and retried, a
+// stalled run is killed snapshot-aware by the progress watchdog, and a
+// SIGKILL of the daemon itself loses nothing: restarting with the same
+// -dir replays the journal and resumes every in-flight job from its
+// latest checkpoint, byte-identical to the uninterrupted run. SIGTERM
+// is a graceful shutdown: all in-flight jobs checkpoint, the journal
+// flushes, and the process exits 0 with the campaign resumable.
+//
+// Examples:
+//
+//	nocserve -dir /data/chaos -campaign chaos -runs 16 -snapshot-every 2000
+//	nocserve -dir /data/chaos                      # resume after a crash
+//	nocserve -dir /data/sweep -campaign loadsweep -serve :8080
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"rlnoc"
+	"rlnoc/internal/campaign"
+	"rlnoc/internal/config"
+	"rlnoc/internal/snap"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nocserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dirFlag     = flag.String("dir", "", "campaign directory (default: RLNOC_CAMPAIGN_DIR env, else 'campaign')")
+		preset      = flag.String("campaign", "", "campaign to submit: chaos|loadsweep (empty: resume whatever -dir holds)")
+		runs        = flag.Int("runs", 4, "chaos kill schedules to sweep (with -campaign chaos)")
+		cfgPath     = flag.String("config", "", "JSON config file")
+		small       = flag.Bool("small", false, "use the 4x4 quick configuration")
+		seed        = flag.Int64("seed", 0, "override random seed")
+		workers     = flag.Int("workers", 1, "concurrent jobs")
+		maxAttempts = flag.Int("max-attempts", 3, "per-job retry budget")
+		deadline    = flag.Duration("deadline", 0, "per-job wall-clock deadline across attempts (0 = none)")
+		watchdog    = flag.Duration("watchdog", 30*time.Second, "kill a job whose progress heartbeat is silent this long (0 = off)")
+		snapEvery   = flag.Int64("snapshot-every", 2000, "checkpoint each job every N cycles (0 = retries restart from cycle 0)")
+		serveAddr   = flag.String("serve", "", "serve campaign status as JSON on this address (e.g. :8080)")
+		statusEvery = flag.Duration("status-every", 10*time.Second, "print the job status table this often (0 = off)")
+		injPanic    = flag.Int64("inject-panic", 0, "TESTING: panic each job once at this cycle (first attempt only)")
+		injStall    = flag.Int64("inject-stall", 0, "TESTING: stall each job at this cycle until the watchdog kills it (first attempt only)")
+	)
+	flag.Parse()
+	dir, _ := config.ResolveString(config.EnvCampaignDir, *dirFlag, "campaign")
+
+	cfg := rlnoc.DefaultConfig()
+	if *small {
+		cfg = rlnoc.SmallConfig()
+	}
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = rlnoc.LoadConfig(*cfgPath); err != nil {
+			return err
+		}
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	logger := log.New(os.Stderr, "nocserve: ", log.LstdFlags)
+	eng, err := campaign.Open(campaign.Options{
+		Dir:           dir,
+		Name:          "nocserve",
+		Workers:       *workers,
+		MaxAttempts:   *maxAttempts,
+		WatchdogAfter: *watchdog,
+		Seed:          cfg.Seed,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	specs, err := buildPreset(*preset, cfg, *runs, *snapEvery, campaign.InjectSpec{
+		PanicAtCycle: *injPanic, StallAtCycle: *injStall,
+	})
+	if err != nil {
+		return err
+	}
+	if *deadline > 0 {
+		for i := range specs {
+			specs[i].Deadline = *deadline
+		}
+	}
+	// Submit is idempotent over job IDs, so restarting with the same
+	// flags re-offers the same specs and the manifest wins.
+	if err := eng.Submit(specs...); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	if *serveAddr != "" {
+		srv := statusServer(*serveAddr, eng)
+		defer srv.Close()
+	}
+	if *statusEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*statusEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					printStatus(eng)
+				}
+			}
+		}()
+	}
+
+	logger.Printf("campaign %s: %d jobs", dir, len(eng.Status()))
+	if rerr := eng.Run(ctx); rerr != nil {
+		// Graceful shutdown: every in-flight job checkpointed, journal
+		// flushed. The campaign resumes from -dir.
+		printStatus(eng)
+		logger.Printf("suspended on %v; restart with -dir %s to resume", rerr, dir)
+		return nil
+	}
+
+	results := eng.Results()
+	if err := writeResults(dir, results); err != nil {
+		return err
+	}
+	printStatus(eng)
+	lost := 0
+	for _, r := range results {
+		if r.Outcome == campaign.OutcomeDead || r.Outcome == campaign.OutcomeDeadline {
+			lost++
+		}
+	}
+	if lost > 0 {
+		return fmt.Errorf("campaign finished with %d lost jobs (of %d)", lost, len(results))
+	}
+	logger.Printf("campaign complete: %d jobs, 0 lost", len(results))
+	return nil
+}
+
+// buildPreset materializes the named campaign's specs ("" builds none:
+// resume-only mode).
+func buildPreset(preset string, cfg rlnoc.Config, runs int, snapEvery int64, inject campaign.InjectSpec) ([]campaign.Spec, error) {
+	switch preset {
+	case "":
+		return nil, nil
+	case "chaos":
+		plan, err := campaign.BuildChaos(cfg, runs, snapEvery, inject)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Specs, nil
+	case "loadsweep":
+		rates := []float64{0.001, 0.002, 0.004, 0.006, 0.008, 0.010}
+		return campaign.BuildLoadSweep(cfg, rates, snapEvery), nil
+	default:
+		return nil, fmt.Errorf("unknown campaign %q (want chaos|loadsweep)", preset)
+	}
+}
+
+// writeResults persists the terminal results next to the manifest, so a
+// finished campaign's numbers survive without grepping the journal.
+func writeResults(dir string, results []campaign.JobResult) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return snap.WriteRawAtomic(filepath.Join(dir, "results.json"), append(data, '\n'))
+}
+
+// printStatus renders the periodic job table: one row per non-terminal
+// job plus a one-line tally.
+func printStatus(eng *campaign.Engine) {
+	sts := eng.Status()
+	counts := map[string]int{}
+	active := 0
+	for _, st := range sts {
+		counts[st.State]++
+		if st.State == "running" || st.State == "waiting" {
+			active++
+		}
+	}
+	fmt.Printf("status: %d jobs — %d done, %d running, %d waiting, %d pending, %d dead\n",
+		len(sts), counts["done"], counts["running"], counts["waiting"], counts["pending"], counts["dead"])
+	if active == 0 {
+		return
+	}
+	fmt.Printf("  %-24s %-8s %8s %8s %12s\n", "job", "state", "starts", "fails", "cycle")
+	for _, st := range sts {
+		if st.State != "running" && st.State != "waiting" {
+			continue
+		}
+		fmt.Printf("  %-24s %-8s %8d %8d %12d\n", st.ID, st.State, st.Starts, st.Attempts, st.Cycle)
+	}
+}
+
+// statusServer serves the status surface as JSON: /status (live job
+// table) and /results (terminal results so far).
+func statusServer(addr string, eng *campaign.Engine) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(eng.Status())
+	})
+	mux.HandleFunc("/results", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(eng.Results())
+	})
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "nocserve: serve:", err)
+		}
+	}()
+	return srv
+}

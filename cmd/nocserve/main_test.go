@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rlnoc/internal/campaign"
+)
+
+// TestMain doubles the test binary as the daemon: when NOCSERVE_CHILD
+// is set, it behaves exactly like `nocserve` with the given flags. The
+// kill-restart test execs itself in that mode so it can SIGKILL a real
+// process mid-campaign.
+func TestMain(m *testing.M) {
+	if os.Getenv("NOCSERVE_CHILD") == "1" {
+		if err := run(); err != nil {
+			fmt.Fprintln(os.Stderr, "nocserve:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func nocserveCmd(t *testing.T, dir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0],
+		"-dir", dir, "-campaign", "chaos", "-runs", "2", "-small",
+		"-workers", "2", "-snapshot-every", "300", "-status-every", "0")
+	cmd.Env = append(os.Environ(), "NOCSERVE_CHILD=1")
+	return cmd
+}
+
+func readResults(t *testing.T, dir string) map[string]campaign.JobResult {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "results.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []campaign.JobResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]campaign.JobResult{}
+	for _, r := range results {
+		byID[r.ID] = r
+	}
+	return byID
+}
+
+// TestKillRestartByteIdentical SIGKILLs a live nocserve mid-campaign —
+// no warning, no cleanup — restarts it with the same flags, and
+// requires every job to finish with Outcome, Detail, and Result
+// byte-identical to a daemon that was never killed.
+func TestKillRestartByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+
+	// Reference: the same campaign, uninterrupted.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	if out, err := nocserveCmd(t, refDir).CombinedOutput(); err != nil {
+		t.Fatalf("reference campaign failed: %v\n%s", err, out)
+	}
+	ref := readResults(t, refDir)
+	if len(ref) == 0 {
+		t.Fatal("reference campaign produced no results")
+	}
+
+	// Victim: start, wait for the first on-disk checkpoint (proof a job
+	// is mid-flight with recoverable state), SIGKILL.
+	killDir := filepath.Join(t.TempDir(), "kill")
+	victim := nocserveCmd(t, killDir)
+	victim.Stderr = os.Stderr
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		snaps, _ := filepath.Glob(filepath.Join(killDir, "jobs", "*", "snapshot-*.rlns"))
+		if len(snaps) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			victim.Wait()
+			t.Fatal("no checkpoint appeared within 60s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait() // expected to die on SIGKILL; exit status is irrelevant
+
+	if _, err := os.Stat(filepath.Join(killDir, "results.json")); err == nil {
+		t.Skip("campaign finished before the kill landed; nothing to recover")
+	}
+
+	// Restart with identical flags: journal replays, in-flight jobs
+	// resume from their checkpoints, campaign must complete cleanly.
+	if out, err := nocserveCmd(t, killDir).CombinedOutput(); err != nil {
+		t.Fatalf("restarted campaign failed: %v\n%s", err, out)
+	}
+
+	got := readResults(t, killDir)
+	if len(got) != len(ref) {
+		t.Fatalf("recovered campaign has %d results, reference %d", len(got), len(ref))
+	}
+	for id, want := range ref {
+		r, ok := got[id]
+		if !ok {
+			t.Errorf("job %s missing after restart", id)
+			continue
+		}
+		// Attempts and Recovered legitimately differ across the kill;
+		// everything the campaign measures must not.
+		if r.Outcome != want.Outcome || r.Detail != want.Detail {
+			t.Errorf("job %s: outcome %s (%s), reference %s (%s)",
+				id, r.Outcome, r.Detail, want.Outcome, want.Detail)
+		}
+		gotJSON, _ := json.Marshal(r.Result)
+		wantJSON, _ := json.Marshal(want.Result)
+		if string(gotJSON) != string(wantJSON) {
+			t.Errorf("job %s: Result differs from uninterrupted daemon\n got: %s\nwant: %s",
+				id, gotJSON, wantJSON)
+		}
+	}
+}

@@ -1,0 +1,579 @@
+package campaign
+
+// The supervised job engine. One Engine owns a campaign directory
+// (manifest + journal + per-job checkpoint directories) and a worker
+// pool that drives jobs through the recovery state machine:
+//
+//	pending ──pick──> running ──classified──> done
+//	   ^                 │
+//	   │ backoff         ├─ panic / stall / unexpected error ──> waiting
+//	   │ (jittered)      │      (checkpoint kept; budget spent)
+//	   └──── waiting <───┤
+//	   ^                 ├─ graceful shutdown ──> pending (suspend
+//	   │                 │      snapshot written; no budget spent)
+//	  open/restart       └─ deadline / budget exhausted ──> dead
+//
+// Every transition is journaled before it is acted on, so a SIGKILL at
+// any point leaves a journal whose replay reconstructs the exact job
+// states; in-flight work resumes from each job's latest valid on-disk
+// checkpoint, byte-identical to the run that was interrupted.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rlnoc/internal/core"
+	"rlnoc/internal/detrand"
+	"rlnoc/internal/snap"
+)
+
+// ErrStalled is the abort reason the progress watchdog hands a run
+// whose heartbeat went quiet: the attempt is killed snapshot-aware and
+// retried from its latest checkpoint.
+var ErrStalled = errors.New("campaign: progress watchdog: run stalled")
+
+// errDeadline is the abort reason for an expired per-job deadline.
+var errDeadline = errors.New("campaign: job deadline exceeded")
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the campaign directory (manifest, journal, per-job
+	// checkpoints). Empty runs the campaign in a throwaway temp
+	// directory that Close removes — full recovery machinery, no
+	// persistence beyond the process (the -chaos / load-sweep mode).
+	Dir string
+	// Name labels the manifest (default "campaign").
+	Name string
+	// Workers is the job-level parallelism (default 1).
+	Workers int
+	// MaxAttempts is the default per-job retry budget: a job dies after
+	// this many failed attempts (default 3).
+	MaxAttempts int
+	// BackoffBase and BackoffMax bound the exponential retry backoff
+	// (defaults 100ms and 5s). The delay for failure n is
+	// min(base<<(n-1), max), jittered into its upper half by a
+	// detrand stream keyed on (Seed, job, n).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed keys the backoff jitter (and nothing else: each job's
+	// simulation seed lives in its Config).
+	Seed int64
+	// WatchdogAfter kills a running attempt whose progress heartbeat
+	// has been silent this long (0 disables the watchdog).
+	WatchdogAfter time.Duration
+	// Heartbeat is the progress-callback interval (default 250ms, or
+	// WatchdogAfter/4 when a watchdog is armed).
+	Heartbeat time.Duration
+	// Logf receives supervisor diagnostics (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+type jobState int
+
+const (
+	jobPending jobState = iota
+	jobRunning
+	jobWaiting // backoff before retry
+	jobDone
+	jobDead
+)
+
+func (s jobState) String() string {
+	switch s {
+	case jobPending:
+		return "pending"
+	case jobRunning:
+		return "running"
+	case jobWaiting:
+		return "waiting"
+	case jobDone:
+		return "done"
+	default:
+		return "dead"
+	}
+}
+
+// job is the engine's mutable view of one Spec. Fields are guarded by
+// Engine.mu except the heartbeat pair, which the running attempt and
+// the watchdog exchange through atomics (see heartbeat).
+type job struct {
+	spec Spec
+	seq  int // submit order; the priority tie-breaker
+
+	state     jobState
+	starts    int // attempts ever started, across process restarts
+	failures  int // failed attempts (spends the retry budget)
+	notBefore time.Time
+	elapsed   time.Duration // accumulated running time (deadline budget)
+
+	outcome   string
+	detail    string
+	errMsg    string
+	recovered bool
+	result    core.Result
+
+	beat heartbeat
+	sim  *core.Sim // non-nil while running; Abort target for the watchdog
+}
+
+func (j *job) terminal() bool { return j.state == jobDone || j.state == jobDead }
+
+// maxAttempts resolves the job's retry budget.
+func (j *job) maxAttempts(def int) int {
+	if j.spec.MaxAttempts > 0 {
+		return j.spec.MaxAttempts
+	}
+	return def
+}
+
+// Engine is the campaign supervisor. Open one, Submit specs, Run it.
+type Engine struct {
+	opts      Options
+	dir       string
+	ephemeral bool
+	journal   *Journal
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	jobs  []*job
+	byID  map[string]*job
+	name  string
+	seed  int64
+	runCh chan struct{} // closed while Run is active (guards double Run)
+}
+
+// Open loads (or initializes) the campaign at opts.Dir: the manifest's
+// specs are submitted, the journal replayed, and every non-terminal job
+// queued to resume from its checkpoints. A fresh directory starts an
+// empty campaign.
+func Open(opts Options) (*Engine, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 100 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 5 * time.Second
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 250 * time.Millisecond
+		if opts.WatchdogAfter > 0 && opts.WatchdogAfter/4 < opts.Heartbeat {
+			opts.Heartbeat = opts.WatchdogAfter / 4
+		}
+	}
+	if opts.Name == "" {
+		opts.Name = "campaign"
+	}
+
+	e := &Engine{opts: opts, dir: opts.Dir, byID: map[string]*job{},
+		name: opts.Name, seed: opts.Seed}
+	e.cond = sync.NewCond(&e.mu)
+	if e.dir == "" {
+		dir, err := os.MkdirTemp("", "rlnoc-campaign-")
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		e.dir, e.ephemeral = dir, true
+	} else if err := os.MkdirAll(e.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+
+	if err := e.loadManifest(); err != nil {
+		return nil, err
+	}
+	journal, recs, err := OpenJournal(filepath.Join(e.dir, "journal.log"))
+	if err != nil {
+		return nil, err
+	}
+	e.journal = journal
+	if err := e.applyJournal(recs); err != nil {
+		journal.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Dir returns the campaign directory.
+func (e *Engine) Dir() string { return e.dir }
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+func (e *Engine) manifestPath() string { return filepath.Join(e.dir, "manifest.json") }
+
+// loadManifest restores the job list from a previous process, if any.
+func (e *Engine) loadManifest() error {
+	data, err := os.ReadFile(e.manifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("campaign: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("campaign: manifest: %w", err)
+	}
+	e.name, e.seed = m.Name, m.Seed
+	for _, spec := range m.Specs {
+		if err := e.addJob(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeManifest persists the full job list atomically.
+func (e *Engine) writeManifest() error {
+	m := Manifest{Name: e.name, Seed: e.seed}
+	for _, j := range e.jobs {
+		m.Specs = append(m.Specs, j.spec)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: manifest: %w", err)
+	}
+	return snap.WriteRawAtomic(e.manifestPath(), append(data, '\n'))
+}
+
+func (e *Engine) addJob(spec Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if _, dup := e.byID[spec.ID]; dup {
+		return fmt.Errorf("campaign: duplicate job ID %q", spec.ID)
+	}
+	j := &job{spec: spec, seq: len(e.jobs)}
+	e.jobs = append(e.jobs, j)
+	e.byID[spec.ID] = j
+	return nil
+}
+
+// applyJournal replays lifecycle records onto the job list, rebuilding
+// each job's state. Unknown job IDs (journal ahead of a lost manifest
+// write — impossible under the engine's ordering, but disks lie) are
+// logged and skipped rather than trusted.
+func (e *Engine) applyJournal(recs []Record) error {
+	for _, rec := range recs {
+		j, ok := e.byID[rec.Job]
+		if !ok {
+			e.logf("journal: record for unknown job %q skipped", rec.Job)
+			continue
+		}
+		switch rec.Type {
+		case RecStart:
+			j.starts = rec.Attempt
+			j.state = jobPending // in-flight at crash: resume
+		case RecFail:
+			j.failures = rec.Attempt
+			j.elapsed = time.Duration(rec.ElapsedMS) * time.Millisecond
+			j.state = jobPending // backoff does not survive restarts
+		case RecSuspend:
+			j.elapsed = time.Duration(rec.ElapsedMS) * time.Millisecond
+			j.state = jobPending
+		case RecDone:
+			j.state = jobDone
+			j.outcome = rec.Outcome
+			j.detail = rec.Detail
+			j.recovered = rec.Recovered
+			if len(rec.Result) > 0 {
+				if err := json.Unmarshal(rec.Result, &j.result); err != nil {
+					return fmt.Errorf("campaign: journal result for %s: %w", rec.Job, err)
+				}
+			}
+		case RecDead:
+			j.state = jobDead
+			j.outcome = rec.Outcome
+			j.errMsg = rec.Error
+		default:
+			e.logf("journal: unknown record type %q skipped", rec.Type)
+		}
+	}
+	return nil
+}
+
+// Submit adds jobs to the campaign and persists the manifest. Specs
+// already present (same ID) are ignored, so re-submitting a campaign's
+// build over an existing directory is idempotent — the restart path.
+func (e *Engine) Submit(specs ...Spec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	added := false
+	for _, spec := range specs {
+		if existing, ok := e.byID[spec.ID]; ok {
+			// Same ID must mean the same job, or the campaign dir is
+			// being reused for a different experiment.
+			if !specEqual(existing.spec, spec) {
+				return fmt.Errorf("campaign: job %q already exists with a different spec", spec.ID)
+			}
+			continue
+		}
+		if err := e.addJob(spec); err != nil {
+			return err
+		}
+		added = true
+	}
+	if !added {
+		return nil
+	}
+	if err := e.writeManifest(); err != nil {
+		return err
+	}
+	e.cond.Broadcast()
+	return nil
+}
+
+func specEqual(a, b Spec) bool {
+	aj, err1 := json.Marshal(a)
+	bj, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && string(aj) == string(bj)
+}
+
+// backoffDelay computes the jittered exponential delay before retry n
+// (1-based). The jitter lands in the delay's upper half, drawn from a
+// detrand stream keyed on (engine seed, job ID hash, n) — deterministic
+// across runs and processes, decorrelated across jobs.
+func (e *Engine) backoffDelay(jobID string, n int) time.Duration {
+	d := e.opts.BackoffBase
+	for i := 1; i < n && d < e.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > e.opts.BackoffMax {
+		d = e.opts.BackoffMax
+	}
+	h := fnv.New64a()
+	h.Write([]byte(jobID))
+	st := detrand.New(e.seed, detrand.DomainCampaign, h.Sum64(), uint64(n))
+	half := d / 2
+	return half + time.Duration(st.Float64()*float64(half))
+}
+
+// next blocks until a job is ready to run (returns it marked running),
+// all jobs are terminal (returns nil, false), or ctx is done (returns
+// nil, true).
+func (e *Engine) next(ctx context.Context) (*job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return nil, true
+		}
+		var best *job
+		var wake time.Time
+		now := time.Now()
+		open := false
+		for _, j := range e.jobs {
+			switch j.state {
+			case jobPending, jobWaiting:
+				if j.notBefore.After(now) {
+					open = true
+					if wake.IsZero() || j.notBefore.Before(wake) {
+						wake = j.notBefore
+					}
+					continue
+				}
+				if best == nil || j.spec.Priority > best.spec.Priority ||
+					(j.spec.Priority == best.spec.Priority && j.seq < best.seq) {
+					best = j
+				}
+			case jobRunning:
+				open = true
+			}
+		}
+		if best != nil {
+			best.state = jobRunning
+			best.starts++
+			best.beat.reset(now)
+			return best, false
+		}
+		if !open {
+			return nil, false
+		}
+		if !wake.IsZero() {
+			// Wake the scheduler when the earliest backoff expires.
+			t := time.AfterFunc(time.Until(wake), e.cond.Broadcast)
+			e.cond.Wait()
+			t.Stop()
+		} else {
+			e.cond.Wait()
+		}
+	}
+}
+
+// Run drives the campaign until every job is terminal, or ctx is
+// cancelled — the graceful-shutdown path: every running attempt is
+// aborted at its next control poll, its state checkpointed, the journal
+// flushed, and Run returns ctx.Err() with all unfinished jobs safely
+// pending for the next process.
+func (e *Engine) Run(ctx context.Context) error {
+	e.mu.Lock()
+	if e.runCh != nil {
+		e.mu.Unlock()
+		return fmt.Errorf("campaign: engine already running")
+	}
+	done := make(chan struct{})
+	e.runCh = done
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.runCh = nil
+		e.mu.Unlock()
+		close(done)
+	}()
+
+	// Cancellation must wake blocked workers and abort running sims.
+	stopWake := context.AfterFunc(ctx, func() {
+		e.mu.Lock()
+		for _, j := range e.jobs {
+			if j.state == jobRunning && j.sim != nil {
+				j.sim.Abort(context.Cause(ctx))
+			}
+		}
+		e.mu.Unlock()
+		e.cond.Broadcast()
+	})
+	defer stopWake()
+
+	if e.opts.WatchdogAfter > 0 {
+		wdStop := make(chan struct{})
+		defer close(wdStop)
+		go e.watchdog(wdStop)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j, cancelled := e.next(ctx)
+				if j == nil {
+					if cancelled {
+						return
+					}
+					// All terminal; wake siblings blocked in next.
+					e.cond.Broadcast()
+					return
+				}
+				e.runJob(ctx, j)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// watchdog scans running jobs and aborts any whose heartbeat has been
+// silent longer than WatchdogAfter. The abort is cooperative (the cycle
+// loop polls every 256 iterations), so a stall inside a single Step —
+// which would mean a simulator deadlock, not a slow run — is out of its
+// reach by design; the per-job deadline is the backstop there.
+func (e *Engine) watchdog(stop <-chan struct{}) {
+	interval := e.opts.WatchdogAfter / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			e.mu.Lock()
+			for _, j := range e.jobs {
+				if j.state != jobRunning || j.sim == nil {
+					continue
+				}
+				if quiet := now.Sub(j.beat.last()); quiet > e.opts.WatchdogAfter {
+					e.logf("watchdog: job %s silent %v at cycle %d, killing", j.spec.ID, quiet.Round(time.Millisecond), j.beat.cycle())
+					j.sim.Abort(ErrStalled)
+				}
+			}
+			e.mu.Unlock()
+		}
+	}
+}
+
+// Status returns a point-in-time view of every job, in submit order.
+func (e *Engine) Status() []JobStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]JobStatus, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		st := JobStatus{
+			ID:       j.spec.ID,
+			State:    j.state.String(),
+			Attempts: j.failures,
+			Starts:   j.starts,
+			Outcome:  j.outcome,
+			Detail:   j.detail,
+		}
+		if j.state == jobRunning {
+			st.Cycle = j.beat.cycle()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Results returns the terminal record of every finished job, in submit
+// order. Jobs still pending or running are omitted.
+func (e *Engine) Results() []JobResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []JobResult
+	for _, j := range e.jobs {
+		if !j.terminal() {
+			continue
+		}
+		out = append(out, JobResult{
+			ID:        j.spec.ID,
+			Outcome:   j.outcome,
+			Detail:    j.detail,
+			Err:       j.errMsg,
+			Attempts:  j.failures,
+			Recovered: j.recovered,
+			Result:    j.result,
+		})
+	}
+	return out
+}
+
+// Done reports whether every job is terminal.
+func (e *Engine) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, j := range e.jobs {
+		if !j.terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// Close flushes and closes the journal; an ephemeral (temp-dir)
+// campaign directory is removed. Call after Run has returned.
+func (e *Engine) Close() error {
+	err := e.journal.Close()
+	if e.ephemeral {
+		if rerr := os.RemoveAll(e.dir); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}

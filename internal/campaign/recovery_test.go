@@ -1,0 +1,228 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rlnoc/internal/config"
+	"rlnoc/internal/core"
+)
+
+// recoverySpecs builds the crash-recovery matrix: mesh + torus, rl +
+// qroute, chaos-style (no pretrain) with checkpoints every 500 cycles.
+func recoverySpecs(traceCycles int64, inject InjectSpec) []Spec {
+	var specs []Spec
+	for _, topo := range []string{"mesh", "torus"} {
+		for _, scheme := range []core.Scheme{core.SchemeRL, core.SchemeQRoute} {
+			cfg := config.Small()
+			cfg.Checks = "all"
+			cfg.WarmupCycles = 200
+			cfg.Topology = topo
+			if topo == "torus" && cfg.VCsPerPort < 8 {
+				cfg.VCsPerPort = 8
+			}
+			specs = append(specs, Spec{
+				ID:     topo + "-" + string(scheme),
+				Config: cfg,
+				Scheme: string(scheme),
+				Label:  "recovery",
+				Trace: TraceSpec{
+					Pattern: "uniform", Rate: 0.01,
+					Cycles: traceCycles, Seed: cfg.Seed + 5,
+				},
+				SnapshotEvery: 500,
+				Inject:        inject,
+			})
+		}
+	}
+	return specs
+}
+
+type refResult struct {
+	outcome string
+	detail  string
+	result  string // canonical JSON of core.Result
+}
+
+// referenceResults runs the matrix uninterrupted and returns each job's
+// terminal record — the byte-identity baseline.
+func referenceResults(t *testing.T, traceCycles int64) map[string]refResult {
+	t.Helper()
+	eng := openTestEngine(t, Options{Workers: 4})
+	if err := eng.Submit(recoverySpecs(traceCycles, InjectSpec{})...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ref := map[string]refResult{}
+	for _, r := range eng.Results() {
+		if r.Outcome != OutcomeDrained && r.Outcome != OutcomeBudget {
+			t.Fatalf("reference job %s finished %s (%s)", r.ID, r.Outcome, r.Err)
+		}
+		ref[r.ID] = refResult{outcome: r.Outcome, detail: r.Detail, result: resultJSON(t, r.Result)}
+	}
+	if len(ref) != 4 {
+		t.Fatalf("reference produced %d results, want 4", len(ref))
+	}
+	return ref
+}
+
+func resultJSON(t *testing.T, res core.Result) string {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// checkRecovered compares a disrupted campaign's results against the
+// uninterrupted reference, byte for byte.
+func checkRecovered(t *testing.T, eng *Engine, ref map[string]refResult, wantRecovered bool) {
+	t.Helper()
+	results := eng.Results()
+	if len(results) != len(ref) {
+		t.Fatalf("got %d results, want %d", len(results), len(ref))
+	}
+	for _, r := range results {
+		want, ok := ref[r.ID]
+		if !ok {
+			t.Errorf("job %s not in reference", r.ID)
+			continue
+		}
+		if r.Outcome != want.outcome || r.Detail != want.detail {
+			t.Errorf("job %s: outcome %s (%s), reference %s (%s)",
+				r.ID, r.Outcome, r.Detail, want.outcome, want.detail)
+		}
+		if got := resultJSON(t, r.Result); got != want.result {
+			t.Errorf("job %s: recovered Result differs from uninterrupted run\n got: %s\nwant: %s",
+				r.ID, got, want.result)
+		}
+		if wantRecovered && !r.Recovered {
+			t.Errorf("job %s completed without restoring a checkpoint", r.ID)
+		}
+	}
+}
+
+// TestRecoveryFromPanic injects a panic mid-measurement into every job
+// (mesh + torus, rl + qroute): the supervisor must isolate it, resume
+// from the latest checkpoint, and finish with Results byte-identical to
+// a run that never crashed — at 1 and 4 workers.
+func TestRecoveryFromPanic(t *testing.T) {
+	const trace = 2000
+	ref := referenceResults(t, trace)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			eng := openTestEngine(t, Options{Workers: workers,
+				BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond})
+			specs := recoverySpecs(trace, InjectSpec{PanicAtCycle: 1200})
+			if err := eng.Submit(specs...); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			checkRecovered(t, eng, ref, true)
+		})
+	}
+}
+
+// TestRecoveryFromStall stalls every job mid-measurement: the progress
+// watchdog must kill each wedged attempt snapshot-aware and the retry
+// must resume from the suspend checkpoint, byte-identical.
+func TestRecoveryFromStall(t *testing.T) {
+	const trace = 2000
+	ref := referenceResults(t, trace)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			eng := openTestEngine(t, Options{Workers: workers,
+				WatchdogAfter: 400 * time.Millisecond,
+				BackoffBase:   time.Millisecond, BackoffMax: 4 * time.Millisecond})
+			specs := recoverySpecs(trace, InjectSpec{StallAtCycle: 1200})
+			if err := eng.Submit(specs...); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			checkRecovered(t, eng, ref, true)
+		})
+	}
+}
+
+// TestGracefulShutdownResume cancels a campaign mid-flight (the SIGTERM
+// path): Run must return with every in-flight job checkpointed and
+// requeued, and a fresh engine over the same directory must finish the
+// campaign byte-identical to the uninterrupted reference.
+func TestGracefulShutdownResume(t *testing.T) {
+	const trace = 10_000
+	ref := referenceResults(t, trace)
+	dir := filepath.Join(t.TempDir(), "campaign")
+	specs := recoverySpecs(trace, InjectSpec{})
+
+	eng, err := Open(Options{Dir: dir, Workers: 2, Heartbeat: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(specs...); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel once some job is demonstrably mid-measurement.
+		for {
+			for _, st := range eng.Status() {
+				if st.State == "running" && st.Cycle > 500 {
+					cancel()
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	if err := eng.Run(ctx); err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	cancel()
+	if eng.Done() {
+		t.Fatal("campaign finished before the shutdown landed; cancel raced the run")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal must show at least one mid-flight suspension.
+	j, recs, err := OpenJournal(filepath.Join(dir, "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	suspends := 0
+	for _, rec := range recs {
+		if rec.Type == RecSuspend {
+			suspends++
+		}
+	}
+	if suspends == 0 {
+		t.Fatal("graceful shutdown journaled no suspensions")
+	}
+
+	// Restart: same dir, same specs (the daemon-restart idiom).
+	eng2, err := Open(Options{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if err := eng2.Submit(specs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	checkRecovered(t, eng2, ref, false)
+}

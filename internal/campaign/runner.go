@@ -1,0 +1,302 @@
+package campaign
+
+// One attempt of one job, from checkpoint discovery to classification.
+// Everything failure-prone lives inside attempt(), behind a recover():
+// a panicking simulation is an attempt outcome, never a dead process.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"rlnoc/internal/core"
+	"rlnoc/internal/snap"
+)
+
+// heartbeat is the lock-free progress channel between a running attempt
+// (which ticks it from the simulator's progress callback) and the
+// watchdog (which reads it on its scan interval).
+type heartbeat struct {
+	lastNS atomic.Int64
+	cyc    atomic.Int64
+}
+
+func (h *heartbeat) reset(now time.Time) { h.lastNS.Store(now.UnixNano()); h.cyc.Store(0) }
+func (h *heartbeat) tick(cycle int64)    { h.lastNS.Store(time.Now().UnixNano()); h.cyc.Store(cycle) }
+func (h *heartbeat) last() time.Time     { return time.Unix(0, h.lastNS.Load()) }
+func (h *heartbeat) cycle() int64        { return h.cyc.Load() }
+
+type attemptKind int
+
+const (
+	attemptDone     attemptKind = iota // classified; job terminal
+	attemptRetry                       // failed; spends retry budget
+	attemptSuspend                     // graceful shutdown; no budget spent
+	attemptDeadline                    // per-job deadline expired; job dead
+)
+
+type attemptResult struct {
+	kind      attemptKind
+	outcome   string
+	detail    string
+	result    core.Result
+	recovered bool
+	err       error
+}
+
+// jobDir is where a job's checkpoints (and bisect replay logs) live.
+func (e *Engine) jobDir(id string) string { return filepath.Join(e.dir, "jobs", id) }
+
+// runJob executes one attempt of j and applies the resulting state
+// transition, journaling each side of it (start before, verdict after).
+func (e *Engine) runJob(ctx context.Context, j *job) {
+	e.mu.Lock()
+	spec, starts, elapsed := j.spec, j.starts, j.elapsed
+	e.mu.Unlock()
+
+	if err := e.journal.Append(Record{Type: RecStart, Job: spec.ID, Attempt: starts}); err != nil {
+		e.logf("journal: %v", err)
+	}
+	began := time.Now()
+	out := e.attempt(ctx, j, spec, starts, elapsed)
+	ran := time.Since(began)
+
+	e.mu.Lock()
+	j.sim = nil
+	j.elapsed += ran
+	j.recovered = j.recovered || out.recovered
+	elapsedMS := int64(j.elapsed / time.Millisecond)
+	var rec Record
+	switch out.kind {
+	case attemptDone:
+		j.state = jobDone
+		j.outcome, j.detail, j.result = out.outcome, out.detail, out.result
+		resJSON, err := json.Marshal(out.result)
+		if err != nil {
+			e.logf("journal: marshal result for %s: %v", spec.ID, err)
+		}
+		rec = Record{Type: RecDone, Job: spec.ID, Attempt: j.failures,
+			Outcome: out.outcome, Detail: out.detail, Recovered: j.recovered, Result: resJSON}
+	case attemptDeadline:
+		j.state = jobDead
+		j.outcome = OutcomeDeadline
+		j.errMsg = errDeadline.Error()
+		rec = Record{Type: RecDead, Job: spec.ID, Outcome: OutcomeDeadline, Error: j.errMsg}
+		e.logf("job %s: deadline %v exhausted, abandoning", spec.ID, spec.Deadline)
+	case attemptSuspend:
+		j.state = jobPending
+		rec = Record{Type: RecSuspend, Job: spec.ID, ElapsedMS: elapsedMS}
+		e.logf("job %s: suspended at cycle %d", spec.ID, j.beat.cycle())
+	case attemptRetry:
+		j.failures++
+		if j.failures >= j.maxAttempts(e.opts.MaxAttempts) {
+			j.state = jobDead
+			j.outcome = OutcomeDead
+			j.errMsg = out.err.Error()
+			rec = Record{Type: RecDead, Job: spec.ID, Outcome: OutcomeDead, Error: j.errMsg}
+			e.logf("job %s: retry budget exhausted after %d failures (%v)", spec.ID, j.failures, out.err)
+		} else {
+			j.state = jobWaiting
+			delay := e.backoffDelay(spec.ID, j.failures)
+			j.notBefore = time.Now().Add(delay)
+			rec = Record{Type: RecFail, Job: spec.ID, Attempt: j.failures,
+				Error: out.err.Error(), ElapsedMS: elapsedMS}
+			e.logf("job %s: attempt %d failed (%v), retry in %v", spec.ID, starts, out.err, delay.Round(time.Millisecond))
+		}
+	}
+	e.mu.Unlock()
+	if err := e.journal.Append(rec); err != nil {
+		e.logf("journal: %v", err)
+	}
+	e.cond.Broadcast()
+}
+
+// attempt runs the simulation once: restore from the newest valid
+// checkpoint (quarantining corrupt ones) or start fresh, wire the
+// heartbeat / deadline / cancellation / injection hooks, run, and
+// classify how it ended. A panic anywhere inside is converted to a
+// retryable failure by the deferred recover.
+func (e *Engine) attempt(ctx context.Context, j *job, spec Spec, starts int, elapsed time.Duration) (out attemptResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = attemptResult{kind: attemptRetry,
+				err: fmt.Errorf("campaign: job %s panicked: %v", spec.ID, p)}
+		}
+	}()
+
+	if spec.Deadline > 0 && spec.Deadline-elapsed <= 0 {
+		return attemptResult{kind: attemptDeadline, err: errDeadline}
+	}
+
+	dir := e.jobDir(spec.ID)
+	sim, resumed, err := e.openSim(spec, dir)
+	if err != nil {
+		return attemptResult{kind: attemptRetry, err: err}
+	}
+	defer sim.Close()
+
+	e.mu.Lock()
+	j.sim = sim
+	e.mu.Unlock()
+	if ctx.Err() != nil {
+		// Cancelled between the queue pick and here; the Run-level
+		// AfterFunc has already fired, so deliver the abort by hand.
+		sim.Abort(context.Cause(ctx))
+	}
+	sim.SetProgress(e.opts.Heartbeat, func(cycle int64) { j.beat.tick(cycle) })
+	if spec.Deadline > 0 {
+		t := time.AfterFunc(spec.Deadline-elapsed, func() { sim.Abort(errDeadline) })
+		defer t.Stop()
+	}
+	if spec.Inject.armed() && starts == 1 {
+		armInjection(sim, spec.Inject)
+	}
+
+	var res core.Result
+	var merr error
+	if resumed {
+		res, merr = sim.ResumeMeasure()
+	} else {
+		if spec.Pretrain {
+			merr = sim.Pretrain()
+		}
+		if merr == nil {
+			events, terr := spec.Trace.Events(spec.Config)
+			if terr != nil {
+				return attemptResult{kind: attemptRetry, err: terr}
+			}
+			res, merr = sim.Measure(events, spec.Label)
+		}
+	}
+
+	if core.IsAbort(merr) {
+		// Killed between cycles: the state is clean, so checkpoint it —
+		// the next attempt resumes here instead of replaying from the
+		// last periodic snapshot (or cycle 0).
+		if spec.SnapshotEvery > 0 && sim.HasMeasure() {
+			if _, serr := sim.SaveSnapshotIn(dir); serr != nil {
+				e.logf("job %s: suspend snapshot: %v", spec.ID, serr)
+			}
+		}
+		switch {
+		case errors.Is(merr, errDeadline):
+			return attemptResult{kind: attemptDeadline, recovered: resumed, err: errDeadline}
+		case errors.Is(merr, ErrStalled):
+			return attemptResult{kind: attemptRetry, recovered: resumed, err: merr}
+		default: // graceful shutdown (context cancellation)
+			return attemptResult{kind: attemptSuspend, recovered: resumed, err: merr}
+		}
+	}
+
+	outcome, iv, cerr := Classify(res, merr, sim.Network())
+	if cerr != nil {
+		return attemptResult{kind: attemptRetry, recovered: resumed, err: cerr}
+	}
+	detail := FormatDetail(sim.Network(), res)
+	if outcome == OutcomeWatchdog {
+		e.logf("%s", iv.Report())
+		if spec.Bisect {
+			e.bisect(sim, spec.ID)
+		}
+	}
+	return attemptResult{kind: attemptDone, outcome: outcome, detail: detail,
+		result: res, recovered: resumed}
+}
+
+// openSim restores the job's newest valid checkpoint, or builds a fresh
+// simulation when none exists. A corrupt checkpoint (truncated by a
+// crash that beat the rename, bit-flipped on a dying disk) is
+// quarantined under a .corrupt suffix and the next-older one tried —
+// the typed snap.CorruptError contract from the read side.
+func (e *Engine) openSim(spec Spec, dir string) (sim *core.Sim, resumed bool, err error) {
+	if spec.SnapshotEvery > 0 {
+		snaps, lerr := core.ListSnapshots(dir)
+		if lerr != nil {
+			return nil, false, lerr
+		}
+		for _, path := range snaps {
+			s, rerr := core.RestoreSimFile(path)
+			if rerr == nil {
+				s.SetSnapshotPolicy(dir, spec.SnapshotEvery)
+				return s, true, nil
+			}
+			if !snap.IsCorrupt(rerr) {
+				return nil, false, rerr
+			}
+			e.logf("job %s: checkpoint %s unreadable (%v), falling back", spec.ID, filepath.Base(path), rerr)
+			if mvErr := os.Rename(path, path+".corrupt"); mvErr != nil {
+				e.logf("job %s: quarantine %s: %v", spec.ID, filepath.Base(path), mvErr)
+			}
+		}
+	}
+	scheme, err := core.ParseScheme(spec.Scheme)
+	if err != nil {
+		return nil, false, err
+	}
+	s, err := core.NewSim(spec.Config, scheme)
+	if err != nil {
+		return nil, false, err
+	}
+	if spec.SnapshotEvery > 0 {
+		s.SetSnapshotPolicy(dir, spec.SnapshotEvery)
+	}
+	return s, false, nil
+}
+
+// armInjection installs the induced-failure observer. Observers are
+// observational (fast-forward treats their boundaries as jump targets
+// without touching state), so an armed injection that never fires
+// leaves the run byte-identical to an unobserved one. The injected
+// stall blocks inside the observer until an abort lands — exactly the
+// shape of a wedged run from the watchdog's point of view — while
+// staying responsive to shutdown.
+func armInjection(sim *core.Sim, inj InjectSpec) {
+	every := inj.ObserverEvery
+	if every <= 0 {
+		every = 64
+	}
+	fired := false
+	sim.SetObserver(every, func(s core.Snapshot) {
+		if fired {
+			return
+		}
+		if inj.PanicAtCycle > 0 && s.Cycle >= inj.PanicAtCycle {
+			fired = true
+			panic(fmt.Sprintf("campaign: injected panic at cycle %d", s.Cycle))
+		}
+		if inj.StallAtCycle > 0 && s.Cycle >= inj.StallAtCycle {
+			fired = true
+			for sim.Aborted() == nil {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	})
+}
+
+// bisect replays a watchdog failure from the job's latest checkpoint
+// with flit-level event capture; the resulting .replay.elog feeds
+// `nocsim -analyze` (the invariant-bisection flow).
+func (e *Engine) bisect(sim *core.Sim, id string) {
+	last := sim.LastSnapshotPath()
+	if last == "" {
+		return
+	}
+	elogPath := last + ".replay.elog"
+	ef, err := os.Create(elogPath)
+	if err != nil {
+		e.logf("job %s: bisect: %v", id, err)
+		return
+	}
+	_, rerr := core.ReplayFromSnapshot(last, ef)
+	ef.Close()
+	if rerr != nil {
+		e.logf("job %s: replayed from %s: failure reproduced (%v); events in %s", id, last, rerr, elogPath)
+	} else {
+		e.logf("job %s: replayed from %s: completed clean", id, last)
+	}
+}

@@ -24,6 +24,9 @@ const (
 	// EnvSnapshotDir sets the checkpoint directory when the
 	// -snapshot-dir flag is absent.
 	EnvSnapshotDir = "RLNOC_SNAPSHOT_DIR"
+	// EnvCampaignDir sets the nocserve campaign directory (manifest,
+	// journal, per-job checkpoints) when the -dir flag is absent.
+	EnvCampaignDir = "RLNOC_CAMPAIGN_DIR"
 )
 
 // Source identifies where a resolved value came from.

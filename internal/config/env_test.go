@@ -52,7 +52,8 @@ func TestResolveIntPrecedence(t *testing.T) {
 func TestEnvVarNames(t *testing.T) {
 	if EnvStepWorkers != "RLNOC_STEP_WORKERS" ||
 		EnvChecks != "RLNOC_CHECKS" ||
-		EnvSnapshotDir != "RLNOC_SNAPSHOT_DIR" {
-		t.Fatalf("env var names drifted: %q %q %q", EnvStepWorkers, EnvChecks, EnvSnapshotDir)
+		EnvSnapshotDir != "RLNOC_SNAPSHOT_DIR" ||
+		EnvCampaignDir != "RLNOC_CAMPAIGN_DIR" {
+		t.Fatalf("env var names drifted: %q %q %q %q", EnvStepWorkers, EnvChecks, EnvSnapshotDir, EnvCampaignDir)
 	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"rlnoc/internal/config"
@@ -99,6 +101,12 @@ type Sim struct {
 	snapEvery int64
 	lastSnap  string
 
+	// abortp holds the cooperative-cancellation request, set from any
+	// goroutine via Abort and polled by the cycle loops (pollControl).
+	// The loop stops between Steps, so the Sim is left at a clean
+	// inter-cycle boundary — snapshot-safe for suspend/resume.
+	abortp atomic.Pointer[AbortError]
+
 	// Progress reporting (nocsim -progress): progFn receives the current
 	// simulated cycle — the network cycle counter, which fast-forward
 	// advances across skipped spans, so derived cycles/s stays meaningful
@@ -139,20 +147,70 @@ func (s *Sim) SetProgress(every time.Duration, fn func(cycle int64)) {
 	s.progLast = time.Now()
 }
 
-// maybeProgress fires the progress callback when the wall-clock interval
-// has elapsed, checking the clock only every 256 loop iterations.
-func (s *Sim) maybeProgress() {
-	if s.progFn == nil {
-		return
+// AbortError is the cooperative-cancellation outcome of a simulation
+// loop: the run was stopped between cycles on request (deadline,
+// watchdog stall-kill, graceful shutdown), not because the simulation
+// failed. The campaign supervisor keys its suspend/requeue handling off
+// this type; Reason carries the caller's cause (e.g. context.Canceled).
+type AbortError struct{ Reason error }
+
+func (e *AbortError) Error() string { return "core: run aborted: " + e.Reason.Error() }
+
+// Unwrap exposes the abort cause to errors.Is/As chains.
+func (e *AbortError) Unwrap() error { return e.Reason }
+
+// IsAbort reports whether err marks a cooperative abort (anywhere in
+// its chain).
+func IsAbort(err error) bool {
+	var ae *AbortError
+	return errors.As(err, &ae)
+}
+
+// Abort requests that the running cycle loop stop at its next control
+// poll (within 256 iterations). Safe to call from any goroutine, and
+// before or during a run; the first reason wins. The loop returns an
+// *AbortError wrapping reason, leaving the Sim at an inter-cycle
+// boundary from which SaveSnapshot captures a resumable checkpoint.
+func (s *Sim) Abort(reason error) {
+	if reason == nil {
+		reason = errors.New("abort requested")
 	}
+	s.abortp.CompareAndSwap(nil, &AbortError{Reason: reason})
+}
+
+// Aborted returns the pending abort (nil if none).
+func (s *Sim) Aborted() error {
+	if e := s.abortp.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// HasMeasure reports whether a measurement phase is installed — true
+// from Measure/RestoreSim until the phase's Result is produced. An
+// aborted Sim with no measure phase (stopped mid-pretrain) has no
+// resumable checkpoint shape; supervisors restart those from scratch.
+func (s *Sim) HasMeasure() bool { return s.ms != nil }
+
+// pollControl is the cycle loops' per-iteration control hook: every 256
+// iterations it checks for a pending abort and fires the progress
+// callback when the wall-clock interval has elapsed. It reads but never
+// writes simulation state, so byte-identity is unaffected.
+func (s *Sim) pollControl() error {
 	s.progTick++
 	if s.progTick&255 != 0 {
-		return
+		return nil
 	}
-	if now := time.Now(); now.Sub(s.progLast) >= s.progEvery {
-		s.progLast = now
-		s.progFn(s.net.Cycle())
+	if e := s.abortp.Load(); e != nil {
+		return e
 	}
+	if s.progFn != nil {
+		if now := time.Now(); now.Sub(s.progLast) >= s.progEvery {
+			s.progLast = now
+			s.progFn(s.net.Cycle())
+		}
+	}
+	return nil
 }
 
 // fastForward reports whether the cycle loops may jump quiescent spans
@@ -371,7 +429,9 @@ func (s *Sim) runTrace(events []traffic.Event, relCap int64) error {
 		if err := s.net.Step(); err != nil {
 			return err
 		}
-		s.maybeProgress()
+		if err := s.pollControl(); err != nil {
+			return err
+		}
 		if in.done() && s.net.Drained() {
 			return nil
 		}
@@ -512,7 +572,9 @@ func (s *Sim) runMeasure() (Result, error) {
 				return Result{}, err
 			}
 		}
-		s.maybeProgress()
+		if err := s.pollControl(); err != nil {
+			return Result{}, err
+		}
 		if ms.in.done() && net.Drained() {
 			ms.drained = true
 			break

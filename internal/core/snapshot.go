@@ -38,44 +38,34 @@ func (s *Sim) SetSnapshotPolicy(dir string, every int64) {
 func (s *Sim) LastSnapshotPath() string { return s.lastSnap }
 
 func (s *Sim) writeAutoSnapshot() error {
-	path := filepath.Join(s.snapDir, fmt.Sprintf("snapshot-%012d.rlns", s.net.Cycle()))
-	if err := s.SaveSnapshot(path); err != nil {
+	path, err := s.SaveSnapshotIn(s.snapDir)
+	if err != nil {
 		return err
 	}
 	s.lastSnap = path
 	return nil
 }
 
+// SaveSnapshotIn writes a checkpoint into dir under the canonical
+// cycle-stamped name and returns its path. The campaign supervisor uses
+// this for suspend snapshots (graceful shutdown, watchdog stall-kill):
+// an aborted Sim sits at an inter-cycle boundary, so the file it writes
+// is indistinguishable from a policy-driven checkpoint at that cycle.
+func (s *Sim) SaveSnapshotIn(dir string) (string, error) {
+	path := filepath.Join(dir, fmt.Sprintf("snapshot-%012d.rlns", s.net.Cycle()))
+	if err := s.SaveSnapshot(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
 // SaveSnapshot writes the complete simulation state to path, creating
-// parent directories as needed. The write is atomic: a crash mid-write
-// never leaves a truncated file under the final name.
+// parent directories as needed. The write is durable and atomic
+// (tmp + fsync + rename, see snap.WriteFileAtomic): a crash — even a
+// SIGKILL — mid-write never leaves a truncated file under the final
+// name.
 func (s *Sim) SaveSnapshot(path string) error {
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("core: snapshot: %w", err)
-		}
-	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("core: snapshot: %w", err)
-	}
-	w := snap.NewWriter(f)
-	if err := s.SnapState(w); err == nil {
-		err = w.Flush()
-	} else {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: snapshot: %w", err)
-	}
-	return os.Rename(tmp, path)
+	return snap.WriteFileAtomic(path, s.SnapState)
 }
 
 // SnapState serializes the full simulation: header, config, scheme,
@@ -366,14 +356,17 @@ func RestoreSimTuned(rd io.Reader, tune func(*config.Config)) (*Sim, error) {
 	}
 	var cfg config.Config
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
-		return nil, fmt.Errorf("core: snapshot config: %w", err)
+		// A bit flip inside the embedded JSON is invisible to the stream
+		// framing; type it corrupt here so recovery falls back to the
+		// previous checkpoint.
+		return nil, snap.Corrupt(fmt.Errorf("core: snapshot config: %w", err))
 	}
 	if tune != nil {
 		tune(&cfg)
 	}
 	sim, err := simForScheme(cfg, schemeStr)
 	if err != nil {
-		return nil, err
+		return nil, snap.Corrupt(err)
 	}
 	r.Section("MEAS")
 	if r.Bool() {
@@ -417,6 +410,18 @@ func LatestSnapshot(dir string) (string, error) {
 	}
 	sort.Strings(matches)
 	return matches[len(matches)-1], nil
+}
+
+// ListSnapshots returns every snapshot file in dir, newest first — the
+// fallback chain recovery walks when the latest checkpoint turns out to
+// be corrupt. An empty slice (no error) means no checkpoints exist.
+func ListSnapshots(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "snapshot-*.rlns"))
+	if err != nil {
+		return nil, fmt.Errorf("core: list snapshots: %w", err)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(matches)))
+	return matches, nil
 }
 
 // ReplayFromSnapshot is the invariant-bisection flow: when a -checks

@@ -43,6 +43,11 @@ const (
 	// router ID. Keyed per cycle so the draw sequence is invariant under
 	// the parallel Step() shard layout.
 	DomainQRoute uint64 = 6
+	// DomainCampaign keys the campaign engine's retry-backoff jitter;
+	// id is a hash of the job ID, cycle is the failure count. Jitter
+	// decorrelates a thundering herd of retries without making test
+	// runs irreproducible.
+	DomainCampaign uint64 = 7
 )
 
 // Source is the draw interface shared by detrand streams and

@@ -248,9 +248,14 @@ func (r *Reader) Err() error { return r.err }
 // mismatches and the like), using the same sticky-error discipline.
 func (r *Reader) Fail(err error) { r.fail(err) }
 
+// fail records the first error, tagging it as a CorruptError: every
+// failure a Reader can produce — truncation, bad magic, version skew,
+// section drift, out-of-range lengths, caller-side structural
+// mismatches — means the stream cannot be trusted, and recovery code
+// keys "fall back to the previous checkpoint" off that one type.
 func (r *Reader) fail(err error) {
 	if r.err == nil {
-		r.err = err
+		r.err = Corrupt(err)
 	}
 }
 
@@ -259,7 +264,7 @@ func (r *Reader) read(p []byte) bool {
 		return false
 	}
 	if _, err := io.ReadFull(r.r, p); err != nil {
-		r.err = err
+		r.fail(err)
 		return false
 	}
 	return true

@@ -159,6 +159,22 @@ func (s *Session) SetSnapshotPolicy(dir string, every int64) {
 // snapshot policy ("" if none).
 func (s *Session) LastSnapshotPath() string { return s.sim.LastSnapshotPath() }
 
+// Abort requests a cooperative stop of the session's running phase: the
+// cycle loop notices within a few hundred iterations and returns an
+// error matching IsAbort, with the simulation left at a clean
+// inter-cycle boundary — SaveSnapshot there resumes bit-identically.
+// Safe to call from any goroutine; the first reason wins.
+func (s *Session) Abort(reason error) { s.sim.Abort(reason) }
+
+// IsAbort reports whether err is the result of an Abort call (possibly
+// wrapped). Use it to distinguish a deliberate stop from a failed run.
+func IsAbort(err error) bool { return core.IsAbort(err) }
+
+// SaveSnapshot writes the complete simulation state to path atomically
+// (temp file + fsync + rename), independent of any snapshot policy.
+// Typical use: checkpoint on demand after Abort.
+func (s *Session) SaveSnapshot(path string) error { return s.sim.SaveSnapshot(path) }
+
 // ResumeMeasure continues the measurement phase of a restored session.
 func (s *Session) ResumeMeasure() (Result, error) { return s.sim.ResumeMeasure() }
 
